@@ -1,0 +1,85 @@
+// Ablations over the detector's design choices (Section IV):
+//  - merge gap 1 vs 2 vs 5 minutes: the paper reports the loop count barely
+//    changes ("we also tried 2 and 5 minute intervals");
+//  - minimum stream size 2 vs 3: dropping the size-3 rule admits link-layer
+//    duplicates as "loops";
+//  - minimum TTL delta 2 vs 3: raising it discards genuine adjacent-router
+//    loops;
+//  - aggregation /24 vs /16: coarser prefixes make validation reject
+//    streams because unrelated healthy traffic shares the aggregate.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "common.h"
+#include "core/loop_detector.h"
+#include "net/time.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Ablation: detector parameter choices (Section IV)",
+      "1 vs 2 vs 5 min merge gaps give similar loop counts; min-size and "
+      "min-delta rules are load-bearing");
+
+  // Merge-gap sensitivity.
+  std::printf("\n[1] merge gap sensitivity\n");
+  analysis::TextTable gap_table(
+      {"Trace", "loops @1min", "loops @2min", "loops @5min"});
+  for (int k = 1; k <= 4; ++k) {
+    std::vector<std::string> row = {bench::cached_trace(k).link_name()};
+    for (const net::TimeNs gap :
+         {net::kMinute, 2 * net::kMinute, 5 * net::kMinute}) {
+      core::LoopDetectorConfig cfg;
+      cfg.merger.merge_gap = gap;
+      const auto result = core::detect_loops(bench::cached_trace(k), cfg);
+      row.push_back(std::to_string(result.loops.size()));
+    }
+    gap_table.add_row(row);
+  }
+  gap_table.print(std::cout);
+
+  // Validation thresholds.
+  std::printf("\n[2] validation thresholds (Backbones 1 and 2)\n");
+  analysis::TextTable val_table({"Config", "B1 streams", "B1 loops",
+                                 "B2 streams", "B2 loops"});
+  struct Variant {
+    const char* name;
+    core::LoopDetectorConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper (size>=3, delta>=2)", {}});
+  {
+    core::LoopDetectorConfig cfg;
+    cfg.validator.min_replicas = 2;
+    variants.push_back({"size>=2 (admits link dups)", cfg});
+  }
+  {
+    core::LoopDetectorConfig cfg;
+    cfg.detector.min_ttl_delta = 3;
+    variants.push_back({"delta>=3 (misses 2-router loops)", cfg});
+  }
+  {
+    core::LoopDetectorConfig cfg;
+    cfg.detector.keep_link_layer_duplicates = false;
+    variants.push_back({"drop equal-TTL duplicates", cfg});
+  }
+  for (const auto& variant : variants) {
+    std::vector<std::string> row = {variant.name};
+    for (int k : {1, 2}) {
+      const auto result = core::detect_loops(bench::cached_trace(k),
+                                             variant.cfg);
+      row.push_back(std::to_string(result.valid_streams.size()));
+      row.push_back(std::to_string(result.loops.size()));
+    }
+    val_table.add_row(row);
+  }
+  val_table.print(std::cout);
+
+  std::printf(
+      "\nNote: /24 aggregation is built into the pipeline as the longest\n"
+      "prefix tier-1 ISPs honor (paper IV-A.2); coarser aggregation would\n"
+      "merge unrelated destinations into one validation unit.\n");
+  return 0;
+}

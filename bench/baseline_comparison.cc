@@ -1,0 +1,70 @@
+// Baseline: passive trace-based detection vs traceroute-style probing.
+//
+// The paper argues (Section III) that end-to-end probing is error-prone for
+// transient loops and cannot assess impact. With simulator ground truth we
+// can make that quantitative: the prober (30 s sweeps from an ingress
+// vantage, Paxson-style) catches only loops that happen to be in progress
+// during a sweep of an affected prefix, while the passive detector sees
+// every loop whose cycle crosses the monitored link.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "baseline/comparison.h"
+#include "baseline/prober.h"
+#include "common.h"
+#include "core/loop_detector.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Baseline comparison: passive replica-stream detection vs "
+      "traceroute-style probing",
+      "probing misses most transient loops; the passive method sees all "
+      "loops crossing its link, with no false positives");
+
+  analysis::TextTable table({"Trace", "GT loops", "Passive recall",
+                             "Passive precision", "Prober recall",
+                             "Prober reports", "Probes sent"});
+
+  for (int k = 1; k <= 4; ++k) {
+    const auto spec = scenarios::backbone_spec(k);
+    auto run = scenarios::build_backbone(spec);
+
+    // Probe the withdrawable (loop-prone) prefixes from ingress I0.
+    baseline::ProberConfig prober_cfg;
+    prober_cfg.start = net::kSecond;
+    prober_cfg.probe_interval = 30 * net::kSecond;
+    prober_cfg.duration = spec.duration;
+    std::vector<net::Prefix> targets(
+        run->withdrawable.begin(),
+        run->withdrawable.begin() +
+            std::min<std::size_t>(run->withdrawable.size(), 24));
+    baseline::TracerouteProber prober(prober_cfg, targets, run->nodes.i0);
+    prober.install(*run->network);
+
+    scenarios::execute(*run);
+
+    const auto truth = run->truth_loops();
+    const auto result = core::detect_loops(run->trace());
+    const auto passive = baseline::score_passive(truth, result.loops,
+                                                 2 * net::kSecond);
+    const auto active = baseline::score_prober(truth, prober.observations(),
+                                               2 * net::kSecond);
+
+    table.add_row({spec.name, std::to_string(truth.size()),
+                   analysis::format_percent(passive.recall()),
+                   analysis::format_percent(passive.precision()),
+                   analysis::format_percent(active.recall()),
+                   std::to_string(active.reports),
+                   std::to_string(prober.probes_sent())});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nNote: passive recall is bounded by which loop cycles cross the\n"
+      "monitored link (the paper's method sees one link); the prober probes\n"
+      "the loop-prone prefixes directly and still misses loops that resolve\n"
+      "between its 30 s sweeps.\n");
+  return 0;
+}

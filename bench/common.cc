@@ -1,0 +1,117 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include "net/pcap.h"
+
+namespace rloop::bench {
+
+namespace {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("RLOOP_BENCH_CACHE")) return env;
+  return "rloop_bench_cache";
+}
+
+// Bump when simulator/trafficgen/scenario internals change what a given
+// spec produces; stale caches would silently misreport otherwise.
+constexpr int kTraceFormatVersion = 2;
+
+// Cache key covers everything that changes the trace.
+std::string cache_path(const scenarios::BackboneSpec& spec) {
+  const auto tag = "v" + std::to_string(kTraceFormatVersion) + "_" +
+                   std::to_string(spec.seed) + "_" +
+                   std::to_string(spec.duration / net::kSecond) + "_" +
+                   std::to_string(static_cast<int>(spec.flows_per_second)) +
+                   "_" + std::to_string(spec.igp_events) + "_" +
+                   std::to_string(spec.bgp_events);
+  return cache_dir() + "/backbone" + std::to_string(spec.index) + "_" + tag +
+         ".pcap";
+}
+
+}  // namespace
+
+const net::Trace& cached_trace(int k) {
+  static std::map<int, net::Trace> traces;
+  auto it = traces.find(k);
+  if (it != traces.end()) return it->second;
+
+  const auto spec = scenarios::backbone_spec(k);
+  const auto path = cache_path(spec);
+  if (std::filesystem::exists(path)) {
+    std::fprintf(stderr, "# %s: loading cached trace %s\n", spec.name.c_str(),
+                 path.c_str());
+    auto trace = net::read_pcap(path);
+    trace.set_link_name(spec.name);
+    return traces.emplace(k, std::move(trace)).first->second;
+  }
+
+  std::fprintf(stderr, "# %s: simulating (seed %llu) ...\n", spec.name.c_str(),
+               static_cast<unsigned long long>(spec.seed));
+  auto run = scenarios::build_backbone(spec);
+  scenarios::execute(*run);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (!ec) {
+    try {
+      net::write_pcap(run->trace(), path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "# cache write failed (continuing): %s\n", e.what());
+    }
+  }
+  return traces.emplace(k, run->trace()).first->second;
+}
+
+const core::LoopDetectionResult& cached_result(int k) {
+  static std::map<int, core::LoopDetectionResult> results;
+  auto it = results.find(k);
+  if (it != results.end()) return it->second;
+  return results.emplace(k, core::detect_loops(cached_trace(k))).first->second;
+}
+
+std::unique_ptr<scenarios::BackboneRun> fresh_run(int k) {
+  const auto spec = scenarios::backbone_spec(k);
+  std::fprintf(stderr, "# %s: simulating with ground truth ...\n",
+               spec.name.c_str());
+  auto run = scenarios::build_backbone(spec);
+  scenarios::execute(*run);
+  return run;
+}
+
+void print_cdf_summary(const std::string& label,
+                       const analysis::EmpiricalCdf& cdf,
+                       const std::string& unit) {
+  if (cdf.empty()) {
+    std::printf("%-12s  (no samples)\n", label.c_str());
+    return;
+  }
+  std::printf(
+      "%-12s  n=%-6zu p10=%-9.3g p50=%-9.3g p90=%-9.3g p99=%-9.3g max=%-9.3g "
+      "%s\n",
+      label.c_str(), cdf.size(), cdf.quantile(0.10), cdf.quantile(0.50),
+      cdf.quantile(0.90), cdf.quantile(0.99), cdf.max(), unit.c_str());
+}
+
+void print_cdf_series(const analysis::EmpiricalCdf& cdf,
+                      const std::string& x_name, std::size_t points) {
+  if (cdf.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  std::printf("  %-14s cdf\n", x_name.c_str());
+  for (const auto& [x, f] : cdf.points(points)) {
+    std::printf("  %-14.4g %.3f\n", x, f);
+  }
+}
+
+void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace rloop::bench

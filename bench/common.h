@@ -1,0 +1,43 @@
+// Shared support for the benchmark harnesses.
+//
+// Every bench binary regenerates the paper's four backbone traces
+// deterministically. Simulating all four takes ~10 s, so traces are cached
+// on disk as pcap (keyed by scenario parameters) and reloaded by later
+// binaries; benches that need simulator ground truth (fates, loop
+// crossings) re-run the simulation instead.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/cdf.h"
+#include "core/loop_detector.h"
+#include "net/trace.h"
+#include "scenarios/backbone.h"
+
+namespace rloop::bench {
+
+// The trace of backbone k (1..4), from the pcap cache when valid, else
+// freshly simulated (and then cached). Cache lives in
+// $RLOOP_BENCH_CACHE or ./rloop_bench_cache.
+const net::Trace& cached_trace(int k);
+
+// Full detection result on cached_trace(k); memoized per process.
+const core::LoopDetectionResult& cached_result(int k);
+
+// A fresh simulation (ground truth available); never cached.
+std::unique_ptr<scenarios::BackboneRun> fresh_run(int k);
+
+// Prints "<label>: p10=.. p50=.. p90=.. p99=.. max=.." on one line.
+void print_cdf_summary(const std::string& label,
+                       const analysis::EmpiricalCdf& cdf,
+                       const std::string& unit);
+
+// Prints a fixed set of (x, F(x)) rows for plotting-style output.
+void print_cdf_series(const analysis::EmpiricalCdf& cdf,
+                      const std::string& x_name, std::size_t points = 16);
+
+// Standard header naming the experiment being reproduced.
+void print_header(const std::string& experiment, const std::string& claim);
+
+}  // namespace rloop::bench

@@ -1,0 +1,32 @@
+// Figure 3: CDF of the number of replicas in a replica stream.
+//
+// Paper shape: jumps near 31 and 63 replicas, because initial TTLs of 64
+// (Linux) and 128 (Windows 2000) burn down in delta-2 loops.
+#include <cstdio>
+
+#include "common.h"
+#include "core/metrics.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Figure 3: CDF of replicas per stream",
+      "steps near 31 and 63 replicas from initial TTLs 64 and 128 in "
+      "delta-2 loops");
+
+  for (int k = 1; k <= 4; ++k) {
+    const auto& result = bench::cached_result(k);
+    const auto cdf = core::stream_size_cdf(result.valid_streams);
+    std::printf("\n%s\n", bench::cached_trace(k).link_name().c_str());
+    bench::print_cdf_summary("stream size", cdf, "replicas");
+    if (!cdf.empty()) {
+      std::printf("  F(30)=%.3f  F(32)=%.3f  (TTL-64 step)\n",
+                  cdf.fraction_at_or_below(30), cdf.fraction_at_or_below(32));
+      std::printf("  F(60)=%.3f  F(64)=%.3f  (TTL-128 step)\n",
+                  cdf.fraction_at_or_below(60), cdf.fraction_at_or_below(64));
+      bench::print_cdf_series(cdf, "replicas", 12);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 8: CDF of replica stream duration.
+//
+// Paper shape: most streams last under ~500 ms with step patterns set by
+// (initial TTL / TTL delta) x spacing; Backbone 4 shows three distinct steps
+// from its three dominant initial TTLs (32/64/128).
+#include <cstdio>
+
+#include "common.h"
+#include "core/metrics.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Figure 8: CDF of replica stream duration",
+      "stepwise CDFs; B4 shows three steps from initial TTLs 32/64/128");
+
+  for (int k = 1; k <= 4; ++k) {
+    const auto& result = bench::cached_result(k);
+    const auto cdf = core::stream_duration_cdf_ms(result.valid_streams);
+    std::printf("\n%s\n", bench::cached_trace(k).link_name().c_str());
+    bench::print_cdf_summary("duration", cdf, "ms");
+    if (!cdf.empty()) {
+      bench::print_cdf_series(cdf, "duration_ms", 14);
+    }
+  }
+  return 0;
+}

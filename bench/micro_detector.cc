@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark): throughput of the detector pipeline
+// and its hot primitives. These bound the cost of running the method over
+// backbone-scale traces (the paper processed traces of 10^8-10^9 packets
+// offline).
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "common.h"
+#include "core/loop_detector.h"
+#include "core/replica_detector.h"
+#include "core/replica_key.h"
+#include "core/streaming_detector.h"
+#include "net/checksum.h"
+#include "net/packet.h"
+#include "routing/lpm_trie.h"
+#include "util/random.h"
+
+using namespace rloop;
+
+namespace {
+
+const net::Trace& bench_trace() { return bench::cached_trace(3); }
+
+void BM_ParseTrace(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    auto records = core::parse_trace(trace);
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ParseTrace)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicaDetect(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  const auto records = core::parse_trace(trace);
+  const core::ReplicaDetector detector;
+  for (auto _ : state) {
+    auto streams = detector.detect(trace, records);
+    benchmark::DoNotOptimize(streams);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ReplicaDetect)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    auto result = core::detect_loops(trace);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingDetector(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  for (auto _ : state) {
+    core::StreamingDetector detector({}, nullptr);
+    for (const auto& rec : trace.records()) {
+      detector.on_packet(rec.ts, rec.bytes());
+    }
+    benchmark::DoNotOptimize(detector.alerts_raised());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_StreamingDetector)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicaKey(benchmark::State& state) {
+  const auto pkt = net::make_tcp_packet(net::Ipv4Addr(1, 2, 3, 4),
+                                        net::Ipv4Addr(5, 6, 7, 8), 1000, 80,
+                                        42, 43, net::kTcpAck, 100, 64, 7);
+  std::array<std::byte, net::kMaxHeaderBytes> buf{};
+  const auto len = net::serialize_packet(pkt, buf);
+  for (auto _ : state) {
+    auto key = core::make_replica_key(
+        std::span<const std::byte>(buf.data(), len));
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReplicaKey);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::array<std::byte, 1500> payload{};
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_InternetChecksum);
+
+void BM_IncrementalChecksum(benchmark::State& state) {
+  std::uint16_t checksum = 0x1234;
+  std::uint16_t word = 0x4006;
+  for (auto _ : state) {
+    checksum = net::incremental_checksum_update(
+        checksum, word, static_cast<std::uint16_t>(word - 0x0100));
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IncrementalChecksum);
+
+void BM_LpmLookup(benchmark::State& state) {
+  routing::LpmTrie trie;
+  util::Rng rng(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.insert(net::Prefix::of(
+                    net::Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                    static_cast<std::uint8_t>(rng.uniform_int(8, 24))),
+                static_cast<std::uint32_t>(i));
+  }
+  std::uint32_t probe = 0x12345678;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 1;
+    benchmark::DoNotOptimize(trie.lookup(net::Ipv4Addr{probe}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LpmLookup)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

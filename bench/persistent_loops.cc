@@ -1,0 +1,75 @@
+// Future-work reproduction: persistent loops.
+//
+// The paper: "persistent loops arise for a number of reasons, perhaps most
+// commonly router misconfiguration ... eliminating a persistent loop
+// requires human intervention", and defers their analysis. This harness
+// injects a misconfiguration into Backbone 1 alongside the usual transient
+// events and shows the detector + classifier separating the two
+// populations, plus the loss a standing loop inflicts on its prefix.
+#include <cstdio>
+
+#include "common.h"
+#include "core/classify.h"
+#include "core/loop_detector.h"
+#include "correlate/correlate.h"
+#include "net/time.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Persistent loops from router misconfiguration",
+      "(paper future work) persistent loops are rare, long, and need human "
+      "intervention; classifier separates them from transients");
+
+  auto spec = scenarios::backbone_spec(1);
+  auto run = scenarios::build_backbone(spec);
+
+  // The operator error: at t=1min, router Y gets a static route for one
+  // withdrawable prefix pointing back up the tapped artery; "humans notice"
+  // and fix it six minutes later — well past any protocol convergence time.
+  const auto victim = run->withdrawable.front();
+  run->network->inject_misconfiguration(victim, run->nodes.y,
+                                        run->nodes.tap_link, net::kMinute);
+  run->network->clear_misconfiguration(victim, run->nodes.y, 7 * net::kMinute);
+  scenarios::execute(*run);
+
+  const auto& trace = run->trace();
+  const auto result = core::detect_loops(trace);
+  const auto classified = core::classify_loops(
+      result.loops, trace.empty() ? 0 : trace.records().back().ts);
+
+  std::printf("\nloops detected      : %zu (%llu transient, %llu persistent)\n",
+              result.loops.size(),
+              static_cast<unsigned long long>(classified.transient),
+              static_cast<unsigned long long>(classified.persistent));
+
+  const auto explanations =
+      correlate::explain_loops(result.loops, run->network->control_log());
+  for (std::size_t i = 0; i < result.loops.size(); ++i) {
+    if (classified.classes[i] != core::LoopClass::persistent) continue;
+    const auto& loop = result.loops[i];
+    std::printf(
+        "persistent loop     : %s  %.1f min, %llu replicas, cause: %s\n",
+        loop.prefix24.to_string().c_str(),
+        net::to_seconds(loop.duration()) / 60.0,
+        static_cast<unsigned long long>(loop.replica_count),
+        correlate::cause_name(explanations[i].cause));
+  }
+
+  // Loss inflicted on the victim prefix while the misconfiguration stood.
+  std::uint64_t victim_expired = 0;
+  for (const auto& crossing : run->network->loop_crossings()) {
+    if (crossing.dst_prefix24 == victim) ++victim_expired;
+  }
+  std::printf("victim prefix       : %s (%llu ground-truth crossings; all "
+              "traffic blackholed while misconfigured)\n",
+              victim.to_string().c_str(),
+              static_cast<unsigned long long>(victim_expired));
+
+  if (classified.persistent == 0) {
+    std::printf("ERROR: expected at least one persistent loop\n");
+    return 1;
+  }
+  return 0;
+}

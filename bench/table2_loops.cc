@@ -1,0 +1,37 @@
+// Table II: number of routing loops — raw replica streams vs the merged
+// routing loops they collapse into.
+//
+// The paper's point: "many replica streams ... typically merge well, and are
+// caused by comparatively few routing loops."
+#include <iostream>
+
+#include "analysis/table.h"
+#include "common.h"
+
+using namespace rloop;
+
+int main() {
+  bench::print_header(
+      "Table II: number of routing loops",
+      "many replica streams merge into comparatively few routing loops");
+
+  analysis::TextTable table({"Trace", "Replica Streams", "Routing Loops",
+                             "Streams/Loop", "Rejected (small)",
+                             "Rejected (prefix)"});
+  for (int k = 1; k <= 4; ++k) {
+    const auto& result = bench::cached_result(k);
+    const double ratio =
+        result.loops.empty()
+            ? 0.0
+            : static_cast<double>(result.valid_streams.size()) /
+                  static_cast<double>(result.loops.size());
+    table.add_row({bench::cached_trace(k).link_name(),
+                   std::to_string(result.valid_streams.size()),
+                   std::to_string(result.loops.size()),
+                   analysis::format_double(ratio, 1),
+                   std::to_string(result.validation.rejected_too_small),
+                   std::to_string(result.validation.rejected_prefix_conflict)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// loop_forensics: the operator's post-mortem view.
+//
+// Simulates Backbone 2, detects loops in its tapped trace, classifies each
+// as transient or persistent, and — using the control-plane feed the paper
+// proposed collecting as future work — prints WHY each loop happened (which
+// withdrawal/failure, and how long convergence took to reach the monitored
+// link). Also demonstrates prefix-preserving anonymization: the analysis is
+// re-run on an anonymized copy of the trace and shown to be unchanged.
+//
+// Usage: loop_forensics
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/table.h"
+#include "core/classify.h"
+#include "core/loop_detector.h"
+#include "correlate/correlate.h"
+#include "net/anonymize.h"
+#include "scenarios/backbone.h"
+
+using namespace rloop;
+
+int main() {
+  std::printf("simulating Backbone 2 ...\n");
+  auto run = scenarios::run_backbone(2);
+  const net::Trace& trace = run->trace();
+
+  const auto result = core::detect_loops(trace);
+  const auto classified = core::classify_loops(
+      result.loops, trace.empty() ? 0 : trace.records().back().ts);
+  const auto explanations =
+      correlate::explain_loops(result.loops, run->network->control_log());
+
+  std::printf("%zu packets captured, %zu replica streams, %zu loops\n\n",
+              trace.size(), result.valid_streams.size(), result.loops.size());
+
+  analysis::TextTable table({"#", "Prefix", "Start", "Duration", "Delta",
+                             "Class", "Cause", "Onset"});
+  for (std::size_t i = 0; i < result.loops.size(); ++i) {
+    const auto& loop = result.loops[i];
+    const auto& ex = explanations[i];
+    table.add_row(
+        {std::to_string(i),
+         loop.prefix24.to_string(),
+         analysis::format_double(net::to_seconds(loop.start), 1) + "s",
+         analysis::format_double(net::to_seconds(loop.duration()), 2) + "s",
+         std::to_string(loop.ttl_delta),
+         classified.classes[i] == core::LoopClass::persistent ? "persistent"
+                                                              : "transient",
+         correlate::cause_name(ex.cause),
+         ex.cause == correlate::Cause::unexplained
+             ? "-"
+             : analysis::format_double(net::to_seconds(ex.onset_latency), 2) +
+                   "s"});
+  }
+  table.print(std::cout);
+
+  const auto summary = correlate::summarize(explanations);
+  std::printf("\nexplained from routing data: %s (mean onset %.2f s)\n",
+              analysis::format_percent(summary.explained_fraction()).c_str(),
+              summary.mean_onset_latency_s);
+
+  // Anonymization demo: identical analysis on a shareable trace.
+  std::printf("\nanonymizing trace (prefix-preserving) and re-running ...\n");
+  const net::Anonymizer anonymizer(0x5eed);
+  const auto anon_result = core::detect_loops(anonymizer.anonymize(trace));
+  std::printf("anonymized trace: %zu streams, %zu loops (%s original)\n",
+              anon_result.valid_streams.size(), anon_result.loops.size(),
+              anon_result.loops.size() == result.loops.size() &&
+                      anon_result.valid_streams.size() ==
+                          result.valid_streams.size()
+                  ? "matches"
+                  : "DIFFERS FROM");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "analysis/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rloop::analysis {
+
+void EmpiricalCdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  if (samples_.empty()) throw std::logic_error("quantile: empty CDF");
+  ensure_sorted();
+  if (q == 0.0) return samples_.front();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), samples_.size());
+  return samples_[rank - 1];
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) throw std::logic_error("min: empty CDF");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) throw std::logic_error("max: empty CDF");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("mean: empty CDF");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::points(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || max_points == 0) return out;
+  ensure_sorted();
+  const auto n = samples_.size();
+  const auto step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != samples_.back() || out.back().second != 1.0) {
+    out.emplace_back(samples_.back(), 1.0);
+  }
+  return out;
+}
+
+}  // namespace rloop::analysis

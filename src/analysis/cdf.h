@@ -1,0 +1,44 @@
+// Empirical CDF over double-valued samples.
+//
+// The paper's evaluation is dominated by CDF plots (Figures 3, 4, 8, 9);
+// this type collects samples and answers quantile / fraction-below queries,
+// and can down-sample itself to a fixed number of plot points.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rloop::analysis {
+
+class EmpiricalCdf {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Fraction of samples <= x. Returns 0 for an empty CDF.
+  double fraction_at_or_below(double x) const;
+
+  // q-quantile with q in [0, 1]; uses the nearest-rank method.
+  // Throws std::invalid_argument for q outside [0,1], std::logic_error if empty.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // At most `max_points` (x, F(x)) pairs suitable for plotting, always
+  // including the first and last sample.
+  std::vector<std::pair<double, double>> points(std::size_t max_points = 64) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace rloop::analysis

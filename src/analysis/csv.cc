@@ -1,0 +1,46 @@
+#include "analysis/csv.h"
+
+#include <stdexcept>
+
+namespace rloop::analysis {
+
+namespace {
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+}  // namespace
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  out_.close();
+  if (out_.fail()) throw std::runtime_error("CsvWriter: write failure on close");
+}
+
+}  // namespace rloop::analysis

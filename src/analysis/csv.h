@@ -1,0 +1,31 @@
+// Minimal CSV writer used by the bench harnesses to dump figure data that can
+// be re-plotted (gnuplot/matplotlib) outside this repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rloop::analysis {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws
+  // std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Throws std::invalid_argument if the row width differs from the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  // Flushed and closed on destruction as well; explicit close lets callers
+  // surface errors.
+  void close();
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace rloop::analysis

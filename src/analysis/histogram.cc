@@ -1,0 +1,81 @@
+#include "analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rloop::analysis {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  total_ += weight;
+  if (std::isnan(value) || value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+void DiscreteHistogram::add(std::int64_t value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t DiscreteHistogram::count(std::int64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double DiscreteHistogram::fraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t DiscreteHistogram::mode() const {
+  if (counts_.empty()) throw std::logic_error("DiscreteHistogram::mode: empty");
+  auto best = counts_.begin();
+  for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  return best->first;
+}
+
+void CategoricalCounter::add(const std::string& category, std::uint64_t weight) {
+  counts_[category] += weight;
+}
+
+std::uint64_t CategoricalCounter::count(const std::string& category) const {
+  auto it = counts_.find(category);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double CategoricalCounter::fraction(const std::string& category) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(category)) / static_cast<double>(total_);
+}
+
+}  // namespace rloop::analysis

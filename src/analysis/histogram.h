@@ -1,0 +1,93 @@
+// Histogram types used to summarize trace measurements.
+//
+// Two flavours are provided:
+//  - Histogram: real-valued samples over uniform bins with under/overflow
+//    tracking, used for figures that report fractions per bucket.
+//  - DiscreteHistogram: integer-keyed counts (e.g. TTL deltas), preserving
+//    exact values rather than binning them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rloop::analysis {
+
+// Uniform-bin histogram over [lo, hi). Samples outside the range are counted
+// in underflow/overflow so totals always reconcile with the sample count.
+class Histogram {
+ public:
+  // Creates `bins` uniform bins covering [lo, hi). Throws std::invalid_argument
+  // if the range is empty or bins == 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  // Fraction of all samples (including under/overflow) in bin i.
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_ = 0;
+  double hi_ = 0;
+  double width_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Exact integer-valued histogram (e.g. TTL delta -> count).
+class DiscreteHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t count(std::int64_t value) const;
+  std::uint64_t total() const { return total_; }
+  double fraction(std::int64_t value) const;
+
+  // Value with the highest count; throws std::logic_error when empty.
+  std::int64_t mode() const;
+
+  bool empty() const { return counts_.empty(); }
+  const std::map<std::int64_t, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Counts string-labelled categories (e.g. packet types). A single sample may
+// be added to several categories, mirroring the paper's Figure 5/6 convention
+// where a TCP SYN-ACK counts under TCP, SYN and ACK.
+class CategoricalCounter {
+ public:
+  void add(const std::string& category, std::uint64_t weight = 1);
+  // Bumps the denominator without touching any category; used when a sample
+  // contributes to no category at all.
+  void add_sample(std::uint64_t weight = 1) { total_ += weight; }
+
+  std::uint64_t count(const std::string& category) const;
+  std::uint64_t total() const { return total_; }
+  // Fraction of the *sample* total, so multi-category samples can make
+  // fractions sum above 1, as in the paper.
+  double fraction(const std::string& category) const;
+
+  const std::map<std::string, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rloop::analysis

@@ -1,0 +1,50 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rloop::analysis {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+RateSeries::RateSeries(double bin_width) : bin_width_(bin_width) {
+  if (!(bin_width > 0)) {
+    throw std::invalid_argument("RateSeries: bin_width must be > 0");
+  }
+}
+
+void RateSeries::add(double time, std::uint64_t weight) {
+  if (time < 0) time = 0;
+  auto idx = static_cast<std::size_t>(time / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  bins_[idx] += weight;
+  total_ += weight;
+}
+
+std::uint64_t RateSeries::max_bin() const {
+  std::uint64_t best = 0;
+  for (auto b : bins_) best = std::max(best, b);
+  return best;
+}
+
+}  // namespace rloop::analysis

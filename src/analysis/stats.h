@@ -1,0 +1,51 @@
+// Streaming statistics helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rloop::analysis {
+
+// Welford online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Buckets event counts into fixed-width time bins, e.g. losses per minute.
+// Times are arbitrary units (the caller picks seconds, ns, ...).
+class RateSeries {
+ public:
+  // Throws std::invalid_argument when bin_width <= 0.
+  explicit RateSeries(double bin_width);
+
+  void add(double time, std::uint64_t weight = 1);
+
+  double bin_width() const { return bin_width_; }
+  // Bins from time 0 through the last observed event; empty if no events.
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  std::uint64_t max_bin() const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rloop::analysis

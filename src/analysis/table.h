@@ -1,0 +1,34 @@
+// Fixed-width text table rendering for the benchmark harnesses, which print
+// the paper's tables as aligned rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rloop::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Throws std::invalid_argument if the row width differs from the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders with a header rule, each column padded to its widest cell.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by bench output.
+std::string format_double(double v, int precision = 2);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_si(double v, int precision = 1);  // 1.2k, 3.4M, ...
+
+}  // namespace rloop::analysis

@@ -1,0 +1,104 @@
+#include "baseline/comparison.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rloop::baseline {
+
+std::vector<TruthLoop> merge_crossings(
+    const std::vector<sim::LoopCrossing>& crossings, net::TimeNs merge_gap) {
+  std::map<net::Prefix, std::vector<net::TimeNs>> by_prefix;
+  for (const auto& c : crossings) {
+    by_prefix[c.dst_prefix24].push_back(c.time);
+  }
+
+  std::vector<TruthLoop> loops;
+  for (auto& [prefix, times] : by_prefix) {
+    std::sort(times.begin(), times.end());
+    TruthLoop current;
+    current.prefix24 = prefix;
+    current.start = times.front();
+    current.end = times.front();
+    current.crossings = 1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      if (times[i] - current.end <= merge_gap) {
+        current.end = times[i];
+        ++current.crossings;
+      } else {
+        loops.push_back(current);
+        current.start = times[i];
+        current.end = times[i];
+        current.crossings = 1;
+      }
+    }
+    loops.push_back(current);
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const TruthLoop& a, const TruthLoop& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.prefix24 < b.prefix24;
+            });
+  return loops;
+}
+
+namespace {
+
+bool intervals_overlap(net::TimeNs a0, net::TimeNs a1, net::TimeNs b0,
+                       net::TimeNs b1, net::TimeNs slack) {
+  return a0 - slack <= b1 && b0 - slack <= a1;
+}
+
+}  // namespace
+
+DetectorScore score_passive(const std::vector<TruthLoop>& truth,
+                            const std::vector<core::RoutingLoop>& reports,
+                            net::TimeNs slack) {
+  DetectorScore score;
+  score.truth_loops = truth.size();
+  score.reports = reports.size();
+
+  std::vector<bool> truth_hit(truth.size(), false);
+  for (const auto& report : reports) {
+    bool matched = false;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i].prefix24 != report.prefix24) continue;
+      if (intervals_overlap(truth[i].start, truth[i].end, report.start,
+                            report.end, slack)) {
+        truth_hit[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) ++score.unmatched_reports;
+  }
+  score.detected = static_cast<std::uint64_t>(
+      std::count(truth_hit.begin(), truth_hit.end(), true));
+  return score;
+}
+
+DetectorScore score_prober(const std::vector<TruthLoop>& truth,
+                           const std::vector<ProbeObservation>& observations,
+                           net::TimeNs slack) {
+  DetectorScore score;
+  score.truth_loops = truth.size();
+
+  std::vector<bool> truth_hit(truth.size(), false);
+  for (const auto& obs : observations) {
+    if (!obs.loop_detected) continue;
+    ++score.reports;
+    bool matched = false;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i].prefix24 != obs.target) continue;
+      if (obs.time >= truth[i].start - slack &&
+          obs.time <= truth[i].end + slack) {
+        truth_hit[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) ++score.unmatched_reports;
+  }
+  score.detected = static_cast<std::uint64_t>(
+      std::count(truth_hit.begin(), truth_hit.end(), true));
+  return score;
+}
+
+}  // namespace rloop::baseline

@@ -1,0 +1,70 @@
+// Scoring detectors against simulator ground truth.
+//
+// The simulator records a LoopCrossing every time a packet revisits a
+// router. Merging crossings per destination /24 yields ground-truth loop
+// intervals. A detector "finds" a truth loop when it reports a loop for the
+// same /24 overlapping the interval (with slack for observation latency).
+// This quantifies what the paper could only argue: the passive method's
+// coverage on its monitored link, and how badly periodic probing misses
+// transient loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/prober.h"
+#include "core/stream_merger.h"
+#include "net/prefix.h"
+#include "net/time.h"
+#include "sim/network.h"
+
+namespace rloop::baseline {
+
+struct TruthLoop {
+  net::Prefix prefix24;
+  net::TimeNs start = 0;
+  net::TimeNs end = 0;
+  std::uint64_t crossings = 0;
+
+  net::TimeNs duration() const { return end - start; }
+};
+
+// Merges raw crossings (any order) into per-prefix intervals, joining
+// crossings separated by less than `merge_gap`.
+std::vector<TruthLoop> merge_crossings(
+    const std::vector<sim::LoopCrossing>& crossings,
+    net::TimeNs merge_gap = 2 * net::kSecond);
+
+struct DetectorScore {
+  std::uint64_t truth_loops = 0;
+  std::uint64_t detected = 0;     // truth loops matched by >= 1 report
+  std::uint64_t reports = 0;      // total reports by the detector
+  std::uint64_t unmatched_reports = 0;  // reports matching no truth loop
+
+  double recall() const {
+    return truth_loops == 0
+               ? 0.0
+               : static_cast<double>(detected) /
+                     static_cast<double>(truth_loops);
+  }
+  double precision() const {
+    return reports == 0 ? 0.0
+                        : static_cast<double>(reports - unmatched_reports) /
+                              static_cast<double>(reports);
+  }
+};
+
+// Passive detector: a RoutingLoop report matches a truth loop when prefixes
+// are equal and intervals overlap within `slack`.
+DetectorScore score_passive(const std::vector<TruthLoop>& truth,
+                            const std::vector<core::RoutingLoop>& reports,
+                            net::TimeNs slack = net::kSecond);
+
+// Active prober: an observation with loop_detected matches a truth loop when
+// its target prefix is equal and the sweep time falls inside the interval
+// (expanded by `slack`).
+DetectorScore score_prober(const std::vector<TruthLoop>& truth,
+                           const std::vector<ProbeObservation>& observations,
+                           net::TimeNs slack = net::kSecond);
+
+}  // namespace rloop::baseline

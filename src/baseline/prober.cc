@@ -1,0 +1,86 @@
+#include "baseline/prober.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/packet.h"
+
+namespace rloop::baseline {
+
+TracerouteProber::TracerouteProber(ProberConfig config,
+                                   std::vector<net::Prefix> targets,
+                                   routing::NodeId vantage)
+    : config_(config), targets_(std::move(targets)), vantage_(vantage) {}
+
+void TracerouteProber::install(sim::Network& network) {
+  for (net::TimeNs t = config_.start; t < config_.start + config_.duration;
+       t += config_.probe_interval) {
+    network.schedule(t, [this, &network, t]() { fire_sweep(network, t); });
+  }
+}
+
+void TracerouteProber::fire_sweep(sim::Network& network, net::TimeNs at) {
+  const net::Ipv4Addr vantage_addr =
+      network.topology().node(vantage_).loopback;
+  std::vector<std::vector<std::uint64_t>> probe_ids(targets_.size());
+
+  for (std::size_t ti = 0; ti < targets_.size(); ++ti) {
+    // Probe the .1 host of the target /24 with classic traceroute UDP
+    // (unlikely destination port).
+    const net::Ipv4Addr dst{targets_[ti].addr.value | 1};
+    probe_ids[ti].reserve(static_cast<std::size_t>(config_.max_ttl));
+    // The vantage is itself a router, so a TTL-1 probe would expire before
+    // leaving it; TTL k+1 expires at the k-th hop.
+    for (int ttl = 2; ttl <= config_.max_ttl + 1; ++ttl) {
+      auto pkt = net::make_udp_packet(
+          vantage_addr, dst,
+          /*src_port=*/static_cast<std::uint16_t>(33000 + ttl),
+          /*dst_port=*/static_cast<std::uint16_t>(33434 + ttl),
+          /*payload_len=*/12, static_cast<std::uint8_t>(ttl), next_ip_id_++);
+      probe_ids[ti].push_back(
+          network.inject(std::move(pkt), /*wire_len=*/40, vantage_, at));
+      ++probes_sent_;
+    }
+  }
+
+  network.schedule(at + config_.collect_delay,
+                   [this, &network, at, ids = std::move(probe_ids)]() mutable {
+                     collect_sweep(network, at, std::move(ids));
+                   });
+}
+
+void TracerouteProber::collect_sweep(
+    sim::Network& network, net::TimeNs fired_at,
+    std::vector<std::vector<std::uint64_t>> probe_ids) {
+  const auto& fates = network.fates();
+  for (std::size_t ti = 0; ti < targets_.size(); ++ti) {
+    ProbeObservation obs;
+    obs.time = fired_at;
+    obs.target = targets_[ti];
+
+    for (const std::uint64_t id : probe_ids[ti]) {
+      const sim::PacketFate& fate = fates.at(id);
+      if (fate.kind == sim::FateKind::delivered) {
+        obs.reached = true;
+        obs.path.push_back(fate.final_node);
+        break;  // remaining probes overshoot the destination
+      }
+      obs.path.push_back(fate.final_node);
+    }
+
+    // A repeated expiry router at different TTLs = loop, the classic
+    // traceroute signature (same hop listed twice).
+    std::unordered_set<int> seen;
+    for (std::size_t i = 0; i + (obs.reached ? 1 : 0) < obs.path.size(); ++i) {
+      const routing::NodeId node = obs.path[i];
+      if (node < 0) continue;
+      if (!seen.insert(node).second) {
+        obs.loop_detected = true;
+        break;
+      }
+    }
+    observations_.push_back(std::move(obs));
+  }
+}
+
+}  // namespace rloop::baseline

@@ -1,0 +1,69 @@
+// Traceroute-style active loop detection — the baseline the paper argues
+// against (Paxson's end-to-end study detected persistent loops but few
+// transient ones; probing is periodic and a transient loop must be in
+// progress while a probe train runs to be seen).
+//
+// The prober sits at a vantage router and, every `probe_interval`, runs a
+// TTL sweep (TTL = 1..max_ttl) toward each target prefix, then reconstructs
+// the forwarding path from where each probe ended (the simulator's
+// equivalent of collecting ICMP time-exceeded sources). A routing loop shows
+// up as the same router appearing at two different probe TTLs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/time.h"
+#include "routing/topology.h"
+#include "sim/network.h"
+
+namespace rloop::baseline {
+
+struct ProberConfig {
+  net::TimeNs start = 0;
+  net::TimeNs probe_interval = 30 * net::kSecond;
+  net::TimeNs duration = 10 * net::kMinute;
+  int max_ttl = 24;
+  // Delay between firing a sweep and reading back its results (probes must
+  // have ended by then; generously above any RTT in the simulator).
+  net::TimeNs collect_delay = 2 * net::kSecond;
+};
+
+struct ProbeObservation {
+  net::TimeNs time = 0;        // when the sweep was fired
+  net::Prefix target;          // destination /24 probed
+  bool loop_detected = false;  // a router repeated within the sweep's path
+  bool reached = false;        // some probe was delivered
+  std::vector<routing::NodeId> path;  // hop i = final node of TTL i+1 probe
+};
+
+class TracerouteProber {
+ public:
+  // Probes a host inside each of `targets` from `vantage`.
+  TracerouteProber(ProberConfig config, std::vector<net::Prefix> targets,
+                   routing::NodeId vantage);
+
+  // Schedules all sweeps; observations accumulate as the simulation runs.
+  void install(sim::Network& network);
+
+  const std::vector<ProbeObservation>& observations() const {
+    return observations_;
+  }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void fire_sweep(sim::Network& network, net::TimeNs at);
+  void collect_sweep(sim::Network& network, net::TimeNs fired_at,
+                     std::vector<std::vector<std::uint64_t>> probe_ids);
+
+  ProberConfig config_;
+  std::vector<net::Prefix> targets_;
+  routing::NodeId vantage_;
+  std::vector<ProbeObservation> observations_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+}  // namespace rloop::baseline

@@ -1,0 +1,25 @@
+#include "core/classify.h"
+
+namespace rloop::core {
+
+ClassifiedLoops classify_loops(const std::vector<RoutingLoop>& loops,
+                               net::TimeNs trace_end,
+                               const ClassifierConfig& config) {
+  ClassifiedLoops out;
+  out.classes.reserve(loops.size());
+  for (const auto& loop : loops) {
+    const bool over_threshold = loop.duration() >= config.persistent_threshold;
+    const bool ongoing = loop.end >= trace_end - config.trace_end_margin &&
+                         loop.duration() >= config.ongoing_min_age;
+    if (over_threshold || ongoing) {
+      out.classes.push_back(LoopClass::persistent);
+      ++out.persistent;
+    } else {
+      out.classes.push_back(LoopClass::transient);
+      ++out.transient;
+    }
+  }
+  return out;
+}
+
+}  // namespace rloop::core

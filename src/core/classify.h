@@ -1,0 +1,50 @@
+// Transient vs persistent loop classification.
+//
+// The paper analyzes transient loops and leaves persistent ones (router
+// misconfiguration, route oscillation; "eliminating a persistent loop
+// requires human intervention") to future work. Given merged loops, this
+// module applies the natural operational split: a loop is persistent when
+// it lasts beyond any plausible protocol convergence time, or is still
+// running when the trace ends after exceeding a minimum age.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stream_merger.h"
+#include "net/time.h"
+
+namespace rloop::core {
+
+enum class LoopClass : std::uint8_t { transient, persistent };
+
+struct ClassifierConfig {
+  // Longest credible convergence event: minutes of BGP churn. Anything
+  // beyond is human-intervention territory.
+  net::TimeNs persistent_threshold = 5 * net::kMinute;
+  // A loop whose last replica falls within this margin of the trace end is
+  // "still running" — classified persistent if it already outlived
+  // `ongoing_min_age` (a short truncated transient stays transient).
+  net::TimeNs trace_end_margin = 10 * net::kSecond;
+  net::TimeNs ongoing_min_age = net::kMinute;
+};
+
+struct ClassifiedLoops {
+  std::vector<LoopClass> classes;  // parallel to the input loop vector
+  std::uint64_t transient = 0;
+  std::uint64_t persistent = 0;
+
+  double persistent_fraction() const {
+    const auto total = transient + persistent;
+    return total == 0 ? 0.0
+                      : static_cast<double>(persistent) /
+                            static_cast<double>(total);
+  }
+};
+
+// `trace_end` is the timestamp of the last record in the trace.
+ClassifiedLoops classify_loops(const std::vector<RoutingLoop>& loops,
+                               net::TimeNs trace_end,
+                               const ClassifierConfig& config = {});
+
+}  // namespace rloop::core

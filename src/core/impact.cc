@@ -1,0 +1,31 @@
+#include "core/impact.h"
+
+#include "net/time.h"
+
+namespace rloop::core {
+
+ImpactEstimate estimate_impact(const LoopDetectionResult& result) {
+  ImpactEstimate impact;
+  impact.looped_streams = result.valid_streams.size();
+
+  for (const auto& stream : result.valid_streams) {
+    const int delta = stream.dominant_ttl_delta();
+    const int last_ttl = stream.replicas.back().ttl;
+    // With delta == 0 (only equal-TTL duplicates survived validation, which
+    // min_replicas >= 3 makes rare) we cannot reason about expiry; treat as
+    // escape candidate.
+    const bool expires = delta > 0 && last_ttl <= delta;
+    if (expires) {
+      ++impact.expired_in_loop;
+      impact.loop_loss_per_minute.add(net::to_seconds(stream.end()),
+                                      stream.size());
+    } else {
+      ++impact.escape_candidates;
+      // The packet demonstrably spent at least `duration` looping.
+      impact.escape_extra_delay_ms.add(net::to_millis(stream.duration()));
+    }
+  }
+  return impact;
+}
+
+}  // namespace rloop::core

@@ -1,0 +1,45 @@
+// Trace-side performance-impact estimation (paper Section VI).
+//
+// From the trace alone (no ground truth) the detector can bound:
+//  - whether a looped packet expired inside the loop (its last observed TTL
+//    cannot survive another turn) or may have escaped when the loop healed;
+//  - the extra delay an escaping packet accumulated (at least the time it
+//    was observed looping);
+//  - loop-induced loss over time (packets that expired in loops, per minute).
+// The benchmarks additionally score these estimates against simulator ground
+// truth, which the paper could not do.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/cdf.h"
+#include "analysis/stats.h"
+#include "core/loop_detector.h"
+
+namespace rloop::core {
+
+struct ImpactEstimate {
+  std::uint64_t looped_streams = 0;
+  // Streams whose final replica could not survive another loop traversal.
+  std::uint64_t expired_in_loop = 0;
+  // Streams whose packet may have exited when the loop healed.
+  std::uint64_t escape_candidates = 0;
+
+  double escape_fraction() const {
+    return looped_streams == 0
+               ? 0.0
+               : static_cast<double>(escape_candidates) /
+                     static_cast<double>(looped_streams);
+  }
+
+  // Extra delay of escape candidates (ms): observed looping time plus the
+  // remaining turns implied by the last TTL, capped at the observation.
+  analysis::EmpiricalCdf escape_extra_delay_ms;
+
+  // Looped packets that expired, binned per minute of trace time.
+  analysis::RateSeries loop_loss_per_minute{60.0};
+};
+
+ImpactEstimate estimate_impact(const LoopDetectionResult& result);
+
+}  // namespace rloop::core

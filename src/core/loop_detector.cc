@@ -1,0 +1,34 @@
+#include "core/loop_detector.h"
+
+namespace rloop::core {
+
+std::uint64_t LoopDetectionResult::looped_packet_records() const {
+  std::uint64_t total = 0;
+  for (const auto& stream : valid_streams) {
+    total += stream.size();
+  }
+  return total;
+}
+
+LoopDetectionResult detect_loops(const net::Trace& trace,
+                                 const LoopDetectorConfig& config) {
+  LoopDetectionResult result;
+  result.records = parse_trace(trace);
+  result.total_records = result.records.size();
+  for (const auto& rec : result.records) {
+    if (!rec.ok) ++result.parse_failures;
+  }
+
+  const ReplicaDetector detector(config.detector);
+  result.raw_streams = detector.detect(trace, result.records);
+
+  const StreamValidator validator(config.validator);
+  result.valid_streams =
+      validator.validate(result.records, result.raw_streams, &result.validation);
+
+  const StreamMerger merger(config.merger);
+  result.loops = merger.merge(result.records, result.valid_streams);
+  return result;
+}
+
+}  // namespace rloop::core

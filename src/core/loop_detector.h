@@ -1,0 +1,46 @@
+// The full three-step detection pipeline (paper Section IV) as one call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.h"
+#include "core/replica_detector.h"
+#include "core/stream_merger.h"
+#include "core/stream_validator.h"
+#include "net/trace.h"
+
+namespace rloop::core {
+
+struct LoopDetectorConfig {
+  ReplicaDetectorConfig detector;
+  ValidatorConfig validator;
+  MergerConfig merger;
+};
+
+struct LoopDetectionResult {
+  // The parsed trace; all stream/loop record indices point into this.
+  std::vector<ParsedRecord> records;
+  // Step 1 output: every stream with >= 2 replicas.
+  std::vector<ReplicaStream> raw_streams;
+  // Step 2 output; loops' stream_indices point into this vector.
+  std::vector<ReplicaStream> valid_streams;
+  // Step 3 output.
+  std::vector<RoutingLoop> loops;
+
+  ValidationStats validation;
+  std::uint64_t total_records = 0;
+  std::uint64_t parse_failures = 0;
+
+  // Total trace records that are replicas of looped packets (members of
+  // validated streams, originals included) — Table I's "looped packets".
+  std::uint64_t looped_packet_records() const;
+  // Unique packets caught in loops (one per validated stream).
+  std::uint64_t looped_unique_packets() const { return valid_streams.size(); }
+};
+
+// Runs parse -> detect -> validate -> merge on `trace`.
+LoopDetectionResult detect_loops(const net::Trace& trace,
+                                 const LoopDetectorConfig& config = {});
+
+}  // namespace rloop::core

@@ -1,0 +1,118 @@
+#include "core/metrics.h"
+
+#include "net/time.h"
+
+namespace rloop::core {
+
+analysis::DiscreteHistogram ttl_delta_distribution(
+    const std::vector<ReplicaStream>& streams) {
+  analysis::DiscreteHistogram hist;
+  for (const auto& s : streams) {
+    const int delta = s.dominant_ttl_delta();
+    if (delta > 0) hist.add(delta);
+  }
+  return hist;
+}
+
+analysis::EmpiricalCdf stream_size_cdf(
+    const std::vector<ReplicaStream>& streams) {
+  analysis::EmpiricalCdf cdf;
+  for (const auto& s : streams) {
+    cdf.add(static_cast<double>(s.size()));
+  }
+  return cdf;
+}
+
+analysis::EmpiricalCdf spacing_cdf_ms(
+    const std::vector<ReplicaStream>& streams) {
+  analysis::EmpiricalCdf cdf;
+  for (const auto& s : streams) {
+    if (s.size() >= 2) cdf.add(s.mean_spacing_ns() / 1e6);
+  }
+  return cdf;
+}
+
+analysis::EmpiricalCdf stream_duration_cdf_ms(
+    const std::vector<ReplicaStream>& streams) {
+  analysis::EmpiricalCdf cdf;
+  for (const auto& s : streams) {
+    cdf.add(net::to_millis(s.duration()));
+  }
+  return cdf;
+}
+
+analysis::EmpiricalCdf loop_duration_cdf_s(
+    const std::vector<RoutingLoop>& loops) {
+  analysis::EmpiricalCdf cdf;
+  for (const auto& l : loops) {
+    cdf.add(net::to_seconds(l.duration()));
+  }
+  return cdf;
+}
+
+const std::vector<std::string> kTrafficCategories = {
+    "TCP", "ACK", "PSH", "RST", "URG", "SYN",
+    "FIN", "UDP", "MCAST", "ICMP", "OTHER"};
+
+std::vector<std::string> packet_categories(const net::ParsedPacket& pkt) {
+  std::vector<std::string> cats;
+  const bool multicast = (pkt.ip.dst.value >> 28) == 0xe;  // 224.0.0.0/4
+  if (multicast) cats.push_back("MCAST");
+
+  if (const auto* t = pkt.tcp()) {
+    cats.push_back("TCP");
+    if (t->has(net::kTcpAck)) cats.push_back("ACK");
+    if (t->has(net::kTcpPsh)) cats.push_back("PSH");
+    if (t->has(net::kTcpRst)) cats.push_back("RST");
+    if (t->has(net::kTcpUrg)) cats.push_back("URG");
+    if (t->has(net::kTcpSyn)) cats.push_back("SYN");
+    if (t->has(net::kTcpFin)) cats.push_back("FIN");
+  } else if (pkt.udp()) {
+    cats.push_back("UDP");
+  } else if (pkt.icmp()) {
+    cats.push_back("ICMP");
+  } else if (!multicast) {
+    cats.push_back("OTHER");
+  }
+  return cats;
+}
+
+analysis::CategoricalCounter traffic_type_mix(
+    const std::vector<ParsedRecord>& records) {
+  analysis::CategoricalCounter counter;
+  for (const auto& rec : records) {
+    if (!rec.ok) continue;
+    counter.add_sample();
+    for (const auto& cat : packet_categories(rec.pkt)) {
+      counter.add(cat);
+    }
+  }
+  return counter;
+}
+
+analysis::CategoricalCounter looped_type_mix(
+    const std::vector<ParsedRecord>& records,
+    const std::vector<ReplicaStream>& valid_streams) {
+  analysis::CategoricalCounter counter;
+  const auto member = stream_membership(records.size(), valid_streams);
+  for (const auto& rec : records) {
+    if (!rec.ok || !member[rec.index]) continue;
+    counter.add_sample();
+    for (const auto& cat : packet_categories(rec.pkt)) {
+      counter.add(cat);
+    }
+  }
+  return counter;
+}
+
+std::vector<DstSample> dst_timeseries(
+    const std::vector<ReplicaStream>& streams) {
+  std::vector<DstSample> out;
+  out.reserve(streams.size());
+  for (const auto& s : streams) {
+    out.push_back({net::to_seconds(s.start()), s.dst});
+  }
+  return out;
+}
+
+}  // namespace rloop::core

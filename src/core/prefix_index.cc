@@ -1,0 +1,27 @@
+#include "core/prefix_index.h"
+
+#include <algorithm>
+
+namespace rloop::core {
+
+NonLoopedIndex::NonLoopedIndex(const std::vector<ParsedRecord>& records,
+                               const std::vector<bool>& is_member) {
+  for (const ParsedRecord& rec : records) {
+    if (!rec.ok) continue;
+    if (is_member[rec.index]) continue;
+    by_prefix_[rec.dst24].push_back(rec.ts);
+  }
+  // Records arrive in time order, so each vector is already sorted; assert
+  // cheaply in debug builds by relying on binary search correctness in any().
+}
+
+bool NonLoopedIndex::any_in(const net::Prefix& prefix24, net::TimeNs from,
+                            net::TimeNs to) const {
+  const auto it = by_prefix_.find(prefix24);
+  if (it == by_prefix_.end()) return false;
+  const auto& times = it->second;
+  const auto lo = std::lower_bound(times.begin(), times.end(), from);
+  return lo != times.end() && *lo <= to;
+}
+
+}  // namespace rloop::core

@@ -1,0 +1,36 @@
+// Per-/24 time index of non-looped packets.
+//
+// Both validation (step 2) and merging (step 3) need the same exact query:
+// "was any packet to this destination /24 observed in [from, to] that is NOT
+// part of a replica stream?" — because a routing loop for a prefix must
+// affect *all* packets to that prefix while it lasts. The index stores, per
+// prefix, the sorted timestamps of non-member packets.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/record.h"
+#include "net/prefix.h"
+#include "net/time.h"
+
+namespace rloop::core {
+
+class NonLoopedIndex {
+ public:
+  // `is_member[i]` marks record i as belonging to some replica stream.
+  NonLoopedIndex(const std::vector<ParsedRecord>& records,
+                 const std::vector<bool>& is_member);
+
+  // Any non-looped packet to `prefix24` with timestamp in [from, to]?
+  bool any_in(const net::Prefix& prefix24, net::TimeNs from,
+              net::TimeNs to) const;
+
+  std::size_t prefix_count() const { return by_prefix_.size(); }
+
+ private:
+  std::unordered_map<net::Prefix, std::vector<net::TimeNs>> by_prefix_;
+};
+
+}  // namespace rloop::core

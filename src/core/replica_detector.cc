@@ -1,0 +1,161 @@
+#include "core/replica_detector.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace rloop::core {
+
+std::vector<int> ReplicaStream::ttl_deltas() const {
+  std::vector<int> deltas;
+  deltas.reserve(replicas.size() > 0 ? replicas.size() - 1 : 0);
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    deltas.push_back(static_cast<int>(replicas[i - 1].ttl) -
+                     static_cast<int>(replicas[i].ttl));
+  }
+  return deltas;
+}
+
+int ReplicaStream::dominant_ttl_delta() const {
+  std::map<int, int> counts;
+  for (int d : ttl_deltas()) {
+    if (d > 0) ++counts[d];
+  }
+  int best = 0;
+  int best_count = 0;
+  for (const auto& [delta, count] : counts) {
+    if (count > best_count) {
+      best = delta;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double ReplicaStream::mean_spacing_ns() const {
+  if (replicas.size() < 2) return 0.0;
+  return static_cast<double>(duration()) /
+         static_cast<double>(replicas.size() - 1);
+}
+
+ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config)
+    : config_(config) {}
+
+namespace {
+
+struct OpenStream {
+  ReplicaStream stream;
+  std::uint8_t last_ttl = 0;
+  net::TimeNs last_ts = 0;
+};
+
+}  // namespace
+
+std::vector<ReplicaStream> ReplicaDetector::detect(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
+  // Several streams can be open for one key (IP ID reuse over a long trace),
+  // so each key maps to a small vector of open streams.
+  std::unordered_map<ReplicaKey, std::vector<OpenStream>, ReplicaKeyHash> open;
+  std::vector<ReplicaStream> closed;
+
+  auto close_stream = [&closed](OpenStream&& os) {
+    if (os.stream.size() >= 2) {
+      closed.push_back(std::move(os.stream));
+    }
+  };
+
+  // Periodic sweep keeps the open table bounded by the packet arrival rate
+  // times the stream timeout rather than by the trace length: most entries
+  // are ordinary packets that never produce a replica.
+  constexpr std::uint32_t kSweepInterval = 1 << 16;
+  std::uint32_t since_sweep = 0;
+
+  for (const ParsedRecord& rec : records) {
+    if (!rec.ok) continue;
+
+    if (++since_sweep >= kSweepInterval) {
+      since_sweep = 0;
+      for (auto it = open.begin(); it != open.end();) {
+        auto& vec = it->second;
+        for (auto sit = vec.begin(); sit != vec.end();) {
+          if (rec.ts - sit->last_ts > config_.stream_timeout) {
+            close_stream(std::move(*sit));
+            sit = vec.erase(sit);
+          } else {
+            ++sit;
+          }
+        }
+        it = vec.empty() ? open.erase(it) : std::next(it);
+      }
+    }
+
+    ReplicaKey key = make_replica_key(trace[rec.index].bytes());
+    auto& streams = open[std::move(key)];
+
+    // Expire stale streams for this key first.
+    for (auto it = streams.begin(); it != streams.end();) {
+      if (rec.ts - it->last_ts > config_.stream_timeout) {
+        close_stream(std::move(*it));
+        it = streams.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Try to extend the most recent compatible stream.
+    bool extended = false;
+    for (auto it = streams.rbegin(); it != streams.rend(); ++it) {
+      const int delta =
+          static_cast<int>(it->last_ttl) - static_cast<int>(rec.pkt.ip.ttl);
+      const bool looped = delta >= config_.min_ttl_delta;
+      const bool duplicate =
+          config_.keep_link_layer_duplicates && delta == 0;
+      if (looped || duplicate) {
+        it->stream.replicas.push_back(
+            {rec.index, rec.ts, rec.pkt.ip.ttl});
+        if (looped) it->last_ttl = rec.pkt.ip.ttl;
+        it->last_ts = rec.ts;
+        extended = true;
+        break;
+      }
+    }
+    if (extended) continue;
+
+    // Start a new stream headed by this packet.
+    OpenStream os;
+    os.stream.key = make_replica_key(trace[rec.index].bytes());
+    os.stream.dst = rec.pkt.ip.dst;
+    os.stream.dst24 = rec.dst24;
+    os.stream.replicas.push_back({rec.index, rec.ts, rec.pkt.ip.ttl});
+    os.last_ttl = rec.pkt.ip.ttl;
+    os.last_ts = rec.ts;
+    streams.push_back(std::move(os));
+  }
+
+  for (auto& [key, streams] : open) {
+    for (auto& os : streams) {
+      close_stream(std::move(os));
+    }
+  }
+
+  std::sort(closed.begin(), closed.end(),
+            [](const ReplicaStream& a, const ReplicaStream& b) {
+              if (a.start() != b.start()) return a.start() < b.start();
+              return a.replicas.front().record_index <
+                     b.replicas.front().record_index;
+            });
+  return closed;
+}
+
+std::vector<bool> stream_membership(std::size_t record_count,
+                                    const std::vector<ReplicaStream>& streams) {
+  std::vector<bool> member(record_count, false);
+  for (const auto& stream : streams) {
+    for (const auto& replica : stream.replicas) {
+      member[replica.record_index] = true;
+    }
+  }
+  return member;
+}
+
+}  // namespace rloop::core

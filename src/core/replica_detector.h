@@ -1,0 +1,80 @@
+// Step 1 of the paper's algorithm: detect replicas and group them into
+// replica streams.
+//
+// A stream grows while each new observation of the same normalized header
+// has a TTL at least `min_ttl_delta` below the previous one (a loop spans at
+// least two routers, so a replica returns with TTL reduced by >= 2).
+// Observations with *equal* TTL are link-layer duplicates (token-ring
+// drain failures, SONET protection-layer copies — paper §IV-A.2); they are
+// kept in the stream so that step 2 can discard two-element streams, but a
+// TTL *increase* or a stale stream (quiet longer than `stream_timeout`)
+// starts a fresh stream for the same key (IP ID wrap / retransmission with
+// identical bytes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/record.h"
+#include "core/replica_key.h"
+#include "net/time.h"
+
+namespace rloop::core {
+
+struct Replica {
+  std::uint32_t record_index = 0;
+  net::TimeNs ts = 0;
+  std::uint8_t ttl = 0;
+};
+
+struct ReplicaStream {
+  ReplicaKey key;
+  net::Ipv4Addr dst;
+  net::Prefix dst24;
+  std::vector<Replica> replicas;  // in time order
+
+  std::size_t size() const { return replicas.size(); }
+  net::TimeNs start() const { return replicas.front().ts; }
+  net::TimeNs end() const { return replicas.back().ts; }
+  net::TimeNs duration() const { return end() - start(); }
+
+  // TTL differences between successive replicas (zero entries are
+  // link-layer duplicates).
+  std::vector<int> ttl_deltas() const;
+  // The most common nonzero TTL delta — the loop's hop count. Returns 0 when
+  // the stream contains only equal-TTL duplicates.
+  int dominant_ttl_delta() const;
+  // Mean spacing between successive replicas, the paper's Figure 4 metric.
+  double mean_spacing_ns() const;
+};
+
+struct ReplicaDetectorConfig {
+  // A key quiet for longer than this closes its stream. Loops the paper
+  // found last seconds; 10 s is comfortably past any replica gap.
+  net::TimeNs stream_timeout = 10 * net::kSecond;
+  // Minimum TTL decrease between successive replicas (paper: 2).
+  int min_ttl_delta = 2;
+  // Accept equal-TTL observations as link-layer duplicates within a stream.
+  bool keep_link_layer_duplicates = true;
+};
+
+class ReplicaDetector {
+ public:
+  explicit ReplicaDetector(ReplicaDetectorConfig config = {});
+
+  // Returns every stream with at least two elements, ordered by start time.
+  // `records` must be parse_trace(trace); records with ok == false are
+  // ignored. The trace supplies the raw bytes the replica key normalizes.
+  std::vector<ReplicaStream> detect(
+      const net::Trace& trace,
+      const std::vector<ParsedRecord>& records) const;
+
+ private:
+  ReplicaDetectorConfig config_;
+};
+
+// Marks which record indices belong to any stream in `streams`.
+std::vector<bool> stream_membership(std::size_t record_count,
+                                    const std::vector<ReplicaStream>& streams);
+
+}  // namespace rloop::core

@@ -1,0 +1,29 @@
+#include "core/replica_key.h"
+
+#include <algorithm>
+
+namespace rloop::core {
+
+namespace {
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+ReplicaKey make_replica_key(std::span<const std::byte> captured) {
+  ReplicaKey key;
+  key.len = static_cast<std::uint8_t>(std::min(captured.size(), net::kSnapLen));
+  std::copy_n(captured.begin(), key.len, key.normalized.begin());
+  if (key.len > 8) key.normalized[8] = std::byte{0};    // TTL
+  if (key.len > 10) key.normalized[10] = std::byte{0};  // checksum hi
+  if (key.len > 11) key.normalized[11] = std::byte{0};  // checksum lo
+  key.hash = fnv1a(std::span<const std::byte>(key.normalized.data(), key.len));
+  return key;
+}
+
+}  // namespace rloop::core

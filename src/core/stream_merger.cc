@@ -1,0 +1,90 @@
+#include "core/stream_merger.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rloop::core {
+
+StreamMerger::StreamMerger(MergerConfig config) : config_(config) {}
+
+std::vector<RoutingLoop> StreamMerger::merge(
+    const std::vector<ParsedRecord>& records,
+    const std::vector<ReplicaStream>& valid_streams) const {
+  // Gap checks use non-looped traffic, where "looped" means membership in a
+  // validated stream: the question is whether forwarding for the prefix was
+  // demonstrably healthy between two streams.
+  const auto member = stream_membership(records.size(), valid_streams);
+  const NonLoopedIndex index(records, member);
+
+  // Group stream indices by prefix, keeping time order within each group.
+  std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
+  for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
+    by_prefix[valid_streams[i].dst24].push_back(i);
+  }
+
+  std::vector<RoutingLoop> loops;
+  for (auto& [prefix, indices] : by_prefix) {
+    std::sort(indices.begin(), indices.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return valid_streams[a].start() < valid_streams[b].start();
+              });
+
+    RoutingLoop current;
+    bool open = false;
+    auto flush = [&]() {
+      if (!open) return;
+      // The loop's hop count: mode of member streams' dominant deltas.
+      std::map<int, int> delta_counts;
+      for (std::uint32_t si : current.stream_indices) {
+        const int d = valid_streams[si].dominant_ttl_delta();
+        if (d > 0) ++delta_counts[d];
+      }
+      int best = 0;
+      int best_count = 0;
+      for (const auto& [delta, count] : delta_counts) {
+        if (count > best_count) {
+          best = delta;
+          best_count = count;
+        }
+      }
+      current.ttl_delta = best;
+      loops.push_back(current);
+      open = false;
+    };
+
+    for (std::uint32_t si : indices) {
+      const ReplicaStream& s = valid_streams[si];
+      if (open) {
+        const bool overlaps = s.start() <= current.end;
+        const bool near = !overlaps &&
+                          s.start() - current.end < config_.merge_gap &&
+                          !index.any_in(prefix, current.end + 1, s.start() - 1);
+        if (overlaps || near) {
+          current.end = std::max(current.end, s.end());
+          current.stream_indices.push_back(si);
+          current.replica_count += s.size();
+          continue;
+        }
+        flush();
+      }
+      current = RoutingLoop{};
+      current.prefix24 = prefix;
+      current.start = s.start();
+      current.end = s.end();
+      current.stream_indices = {si};
+      current.replica_count = s.size();
+      open = true;
+    }
+    flush();
+  }
+
+  std::sort(loops.begin(), loops.end(),
+            [](const RoutingLoop& a, const RoutingLoop& b) {
+              if (a.prefix24 != b.prefix24)
+                return a.prefix24 < b.prefix24;
+              return a.start < b.start;
+            });
+  return loops;
+}
+
+}  // namespace rloop::core

@@ -1,0 +1,53 @@
+// Step 3 of the paper's algorithm: merge replica streams into routing loops.
+//
+// Streams to the same /24 that overlap in time are almost certainly the same
+// loop. Streams separated by less than `merge_gap` (paper: one minute; 2 and
+// 5 minutes changed little) are also merged, provided no non-looped packet
+// to the prefix falls in the gap — otherwise the loop demonstrably healed
+// in between.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_index.h"
+#include "core/replica_detector.h"
+#include "net/prefix.h"
+#include "net/time.h"
+
+namespace rloop::core {
+
+struct RoutingLoop {
+  net::Prefix prefix24;
+  net::TimeNs start = 0;
+  net::TimeNs end = 0;
+  // Indices into the validated-stream vector passed to merge().
+  std::vector<std::uint32_t> stream_indices;
+  std::uint64_t replica_count = 0;
+  // Mode of the member streams' dominant TTL deltas: the loop's hop count.
+  int ttl_delta = 0;
+
+  net::TimeNs duration() const { return end - start; }
+  std::size_t stream_count() const { return stream_indices.size(); }
+};
+
+struct MergerConfig {
+  net::TimeNs merge_gap = net::kMinute;
+};
+
+class StreamMerger {
+ public:
+  explicit StreamMerger(MergerConfig config = {});
+
+  // `valid_streams` is the validator's output; `records` the parsed trace
+  // (needed to check gaps for non-looped traffic). Returns loops ordered by
+  // (prefix, start time).
+  std::vector<RoutingLoop> merge(
+      const std::vector<ParsedRecord>& records,
+      const std::vector<ReplicaStream>& valid_streams) const;
+
+ private:
+  MergerConfig config_;
+};
+
+}  // namespace rloop::core

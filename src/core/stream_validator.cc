@@ -1,0 +1,37 @@
+#include "core/stream_validator.h"
+
+namespace rloop::core {
+
+StreamValidator::StreamValidator(ValidatorConfig config) : config_(config) {}
+
+std::vector<ReplicaStream> StreamValidator::validate(
+    const std::vector<ParsedRecord>& records,
+    std::vector<ReplicaStream> streams, ValidationStats* stats) const {
+  ValidationStats local;
+  local.input_streams = streams.size();
+
+  // Membership covers every raw stream (>= 2 elements): even a stream that
+  // itself fails validation consists of looped-looking packets, which must
+  // not count as refuting evidence against an overlapping stream.
+  const auto member = stream_membership(records.size(), streams);
+  const NonLoopedIndex index(records, member);
+
+  std::vector<ReplicaStream> valid;
+  valid.reserve(streams.size());
+  for (auto& stream : streams) {
+    if (stream.size() < config_.min_replicas) {
+      ++local.rejected_too_small;
+      continue;
+    }
+    if (index.any_in(stream.dst24, stream.start(), stream.end())) {
+      ++local.rejected_prefix_conflict;
+      continue;
+    }
+    ++local.accepted;
+    valid.push_back(std::move(stream));
+  }
+  if (stats) *stats = local;
+  return valid;
+}
+
+}  // namespace rloop::core

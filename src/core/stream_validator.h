@@ -1,0 +1,48 @@
+// Step 2 of the paper's algorithm: validate replica streams.
+//
+// Two conditions (Section IV-A.2):
+//  1. A stream must have at least `min_replicas` elements. Two-element
+//     "streams" are usually link-layer duplication (token ring drain
+//     failures, misconfigured SONET protection), not loops.
+//  2. During the stream's lifetime, every packet to the same /24 destination
+//     prefix must itself be looped: a routing loop black-holes the whole
+//     prefix, so a non-looped packet to the prefix inside the interval
+//     refutes the loop hypothesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_index.h"
+#include "core/replica_detector.h"
+
+namespace rloop::core {
+
+struct ValidatorConfig {
+  // The paper uses 3: eliminate streams "having only two elements".
+  std::size_t min_replicas = 3;
+};
+
+struct ValidationStats {
+  std::uint64_t input_streams = 0;
+  std::uint64_t rejected_too_small = 0;
+  std::uint64_t rejected_prefix_conflict = 0;
+  std::uint64_t accepted = 0;
+};
+
+class StreamValidator {
+ public:
+  explicit StreamValidator(ValidatorConfig config = {});
+
+  // `streams` is the raw output of ReplicaDetector::detect; `records` the
+  // full parsed trace. Returns the surviving streams in input order and
+  // fills `stats` when non-null.
+  std::vector<ReplicaStream> validate(const std::vector<ParsedRecord>& records,
+                                      std::vector<ReplicaStream> streams,
+                                      ValidationStats* stats = nullptr) const;
+
+ private:
+  ValidatorConfig config_;
+};
+
+}  // namespace rloop::core

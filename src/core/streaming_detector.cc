@@ -1,0 +1,97 @@
+#include "core/streaming_detector.h"
+
+#include <stdexcept>
+
+#include "net/packet.h"
+
+namespace rloop::core {
+
+StreamingDetector::StreamingDetector(StreamingConfig config,
+                                     AlertCallback on_alert)
+    : config_(config), on_alert_(std::move(on_alert)) {}
+
+void StreamingDetector::sweep(net::TimeNs now) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.last_ts > config_.stream_timeout) {
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = last_alert_.begin(); it != last_alert_.end();) {
+    if (now - it->second > 2 * config_.alert_holddown) {
+      it = last_alert_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StreamingDetector::on_packet(net::TimeNs ts,
+                                  std::span<const std::byte> bytes) {
+  if (packets_seen_ > 0 && ts < last_ts_) {
+    throw std::invalid_argument("StreamingDetector: time went backwards");
+  }
+  last_ts_ = ts;
+  ++packets_seen_;
+
+  if (++since_sweep_ >= (1u << 15)) {
+    since_sweep_ = 0;
+    sweep(ts);
+  }
+
+  const auto parsed = net::parse_packet(bytes);
+  if (!parsed) return;
+  ReplicaKey key = make_replica_key(bytes);
+
+  auto [it, inserted] = open_.try_emplace(std::move(key));
+  OpenEntry& entry = it->second;
+  if (inserted || ts - entry.last_ts > config_.stream_timeout) {
+    entry = OpenEntry{};
+    entry.first_ts = ts;
+    entry.last_ts = ts;
+    entry.last_ttl = parsed->ip.ttl;
+    entry.prefix24 = net::Prefix::slash24(parsed->ip.dst);
+    return;
+  }
+
+  const int delta =
+      static_cast<int>(entry.last_ttl) - static_cast<int>(parsed->ip.ttl);
+  if (delta < config_.min_ttl_delta) {
+    if (delta < 0) {
+      // TTL increased: a different original packet with identical bytes.
+      entry = OpenEntry{};
+      entry.first_ts = ts;
+      entry.last_ts = ts;
+      entry.last_ttl = parsed->ip.ttl;
+      entry.prefix24 = net::Prefix::slash24(parsed->ip.dst);
+    }
+    // Equal/-1 TTL: link-layer duplicate or adjacent hop; not loop evidence.
+    return;
+  }
+
+  entry.last_ttl = parsed->ip.ttl;
+  entry.last_ts = ts;
+  entry.last_delta = delta;
+  ++entry.replicas;
+
+  if (entry.replicas >= config_.min_replicas) {
+    auto [alert_it, first_alert] = last_alert_.try_emplace(entry.prefix24, ts);
+    if (!first_alert && ts - alert_it->second < config_.alert_holddown) {
+      return;
+    }
+    alert_it->second = ts;
+    ++alerts_raised_;
+    if (on_alert_) {
+      LoopAlert alert;
+      alert.prefix24 = entry.prefix24;
+      alert.first_seen = entry.first_ts;
+      alert.raised_at = ts;
+      alert.replicas = entry.replicas;
+      alert.ttl_delta = entry.last_delta;
+      on_alert_(alert);
+    }
+  }
+}
+
+}  // namespace rloop::core

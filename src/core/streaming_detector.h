@@ -1,0 +1,81 @@
+// Online (single-pass, bounded-memory) loop detection.
+//
+// The offline pipeline needs the whole trace for validation step 2 and for
+// merging. Operationally, though, a loop alarm is most useful while the loop
+// is happening; the paper notes that a surge of replica streams (and of ICMP
+// time-exceeded traffic) is a strong live indicator. StreamingDetector
+// trades the full prefix-consistency validation for immediacy: it raises an
+// alert as soon as any prefix accumulates a replica stream of
+// `min_replicas`, with a per-prefix hold-down to avoid alert storms.
+//
+// Memory is bounded by (packet rate x stream timeout), independent of how
+// long the detector runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replica_detector.h"
+#include "core/replica_key.h"
+#include "net/prefix.h"
+#include "net/time.h"
+
+namespace rloop::core {
+
+struct LoopAlert {
+  net::Prefix prefix24;
+  net::TimeNs first_seen = 0;  // first replica of the triggering stream
+  net::TimeNs raised_at = 0;   // packet that crossed the threshold
+  std::uint64_t replicas = 0;
+  int ttl_delta = 0;
+};
+
+struct StreamingConfig {
+  net::TimeNs stream_timeout = 10 * net::kSecond;
+  int min_ttl_delta = 2;
+  std::size_t min_replicas = 3;
+  // At most one alert per prefix per hold-down interval.
+  net::TimeNs alert_holddown = net::kMinute;
+};
+
+class StreamingDetector {
+ public:
+  using AlertCallback = std::function<void(const LoopAlert&)>;
+
+  StreamingDetector(StreamingConfig config, AlertCallback on_alert);
+
+  // Feed one captured packet (bytes start at the IP header). Timestamps must
+  // be non-decreasing; throws std::invalid_argument otherwise.
+  void on_packet(net::TimeNs ts, std::span<const std::byte> bytes);
+
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t alerts_raised() const { return alerts_raised_; }
+  // Open replica-candidate entries currently tracked (for memory tests).
+  std::size_t open_entries() const { return open_.size(); }
+
+ private:
+  struct OpenEntry {
+    net::TimeNs first_ts = 0;
+    net::TimeNs last_ts = 0;
+    std::uint8_t last_ttl = 0;
+    std::uint32_t replicas = 1;
+    int last_delta = 0;
+    net::Prefix prefix24;
+  };
+
+  void sweep(net::TimeNs now);
+
+  StreamingConfig config_;
+  AlertCallback on_alert_;
+  std::unordered_map<ReplicaKey, OpenEntry, ReplicaKeyHash> open_;
+  std::unordered_map<net::Prefix, net::TimeNs> last_alert_;
+  net::TimeNs last_ts_ = 0;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t alerts_raised_ = 0;
+  std::uint32_t since_sweep_ = 0;
+};
+
+}  // namespace rloop::core

@@ -1,0 +1,111 @@
+#include "correlate/correlate.h"
+
+#include <algorithm>
+
+namespace rloop::correlate {
+
+const char* cause_name(Cause cause) {
+  switch (cause) {
+    case Cause::bgp_withdrawal: return "BGP withdrawal";
+    case Cause::bgp_reannounce: return "BGP re-announcement";
+    case Cause::igp_link_down: return "IGP link failure";
+    case Cause::igp_link_up: return "IGP link restoration";
+    case Cause::misconfiguration: return "misconfiguration";
+    case Cause::unexplained: return "unexplained";
+  }
+  return "?";
+}
+
+std::vector<LoopExplanation> explain_loops(
+    const std::vector<core::RoutingLoop>& loops,
+    const std::vector<sim::ControlEvent>& control_log,
+    const CorrelationConfig& config) {
+  using Kind = sim::ControlEvent::Kind;
+  std::vector<LoopExplanation> out;
+  out.reserve(loops.size());
+
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const core::RoutingLoop& loop = loops[i];
+    LoopExplanation ex;
+    ex.loop_index = i;
+
+    // Best candidate per rule tier; events are time-ordered in the log but
+    // we scan all (logs are small) and keep the latest preceding match.
+    const sim::ControlEvent* bgp = nullptr;
+    const sim::ControlEvent* igp = nullptr;
+    const sim::ControlEvent* misconfig = nullptr;
+    for (const auto& ev : control_log) {
+      if (ev.time > loop.start) continue;
+      const net::TimeNs lag = loop.start - ev.time;
+      switch (ev.kind) {
+        case Kind::bgp_withdraw:
+        case Kind::bgp_reannounce:
+          if (ev.prefix.covers(loop.prefix24) && lag <= config.max_bgp_lag) {
+            if (!bgp || ev.time > bgp->time) bgp = &ev;
+          }
+          break;
+        case Kind::link_down:
+        case Kind::link_up:
+          if (lag <= config.max_igp_lag) {
+            if (!igp || ev.time > igp->time) igp = &ev;
+          }
+          break;
+        case Kind::misconfig_set:
+          if (ev.prefix.covers(loop.prefix24)) {
+            // A standing misconfiguration explains loops until cleared; no
+            // lag bound.
+            if (!misconfig || ev.time > misconfig->time) misconfig = &ev;
+          }
+          break;
+        case Kind::misconfig_clear:
+          if (ev.prefix.covers(loop.prefix24)) misconfig = nullptr;
+          break;
+        default:
+          break;
+      }
+    }
+
+    if (bgp) {
+      ex.cause = bgp->kind == Kind::bgp_withdraw ? Cause::bgp_withdrawal
+                                                 : Cause::bgp_reannounce;
+      ex.event_time = bgp->time;
+      ex.event_prefix = bgp->prefix;
+    } else if (misconfig) {
+      ex.cause = Cause::misconfiguration;
+      ex.event_time = misconfig->time;
+      ex.event_prefix = misconfig->prefix;
+    } else if (igp) {
+      ex.cause = igp->kind == Kind::link_down ? Cause::igp_link_down
+                                              : Cause::igp_link_up;
+      ex.event_time = igp->time;
+      ex.event_link = igp->link;
+    } else {
+      ex.cause = Cause::unexplained;
+    }
+    if (ex.cause != Cause::unexplained) {
+      ex.onset_latency = loop.start - ex.event_time;
+    }
+    out.push_back(ex);
+  }
+  return out;
+}
+
+CorrelationSummary summarize(const std::vector<LoopExplanation>& explanations) {
+  CorrelationSummary summary;
+  summary.total = explanations.size();
+  double latency_sum = 0.0;
+  std::uint64_t explained = 0;
+  for (const auto& ex : explanations) {
+    ++summary.by_cause[static_cast<int>(ex.cause)];
+    if (ex.cause != Cause::unexplained) {
+      latency_sum += net::to_seconds(ex.onset_latency);
+      ++explained;
+    }
+  }
+  if (explained > 0) {
+    summary.mean_onset_latency_s = latency_sum / static_cast<double>(explained);
+  }
+  return summary;
+}
+
+}  // namespace rloop::correlate

@@ -1,0 +1,76 @@
+// Correlating detected loops with control-plane routing data.
+//
+// The paper closes by proposing exactly this: "we are extending our data
+// collection techniques to include complete BGP and IS-IS routing data.
+// This will enable a more detailed analysis of routing loops ... and allow
+// us to provide explanations of the causes and effects of routing loops."
+// The simulator exports that feed (sim::ControlEvent); this module matches
+// each detected RoutingLoop to the control-plane event that plausibly
+// caused it and reports onset latency (event -> first replica), which
+// approximates the unconverged window before the loop became visible.
+//
+// Matching rules, most-specific first:
+//  1. a BGP withdrawal/re-announcement of the loop's own prefix preceding
+//     the loop start within `max_bgp_lag`;
+//  2. otherwise the nearest preceding IGP link event within `max_igp_lag`;
+//  3. otherwise a misconfiguration installation covering the prefix;
+//  4. otherwise unexplained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stream_merger.h"
+#include "net/time.h"
+#include "sim/network.h"
+
+namespace rloop::correlate {
+
+enum class Cause : std::uint8_t {
+  bgp_withdrawal,
+  bgp_reannounce,
+  igp_link_down,
+  igp_link_up,
+  misconfiguration,
+  unexplained,
+};
+
+const char* cause_name(Cause cause);
+
+struct LoopExplanation {
+  std::size_t loop_index = 0;  // into the vector passed to explain_loops
+  Cause cause = Cause::unexplained;
+  net::TimeNs event_time = 0;     // triggering control event (if explained)
+  net::TimeNs onset_latency = 0;  // loop start - event time
+  net::Prefix event_prefix;       // BGP / misconfiguration causes
+  routing::LinkId event_link = -1;  // IGP causes
+};
+
+struct CorrelationConfig {
+  // BGP convergence runs seconds-to-minutes; IGP converges in seconds.
+  net::TimeNs max_bgp_lag = 2 * net::kMinute;
+  net::TimeNs max_igp_lag = 15 * net::kSecond;
+};
+
+std::vector<LoopExplanation> explain_loops(
+    const std::vector<core::RoutingLoop>& loops,
+    const std::vector<sim::ControlEvent>& control_log,
+    const CorrelationConfig& config = {});
+
+struct CorrelationSummary {
+  std::uint64_t total = 0;
+  std::uint64_t by_cause[6] = {};
+  double mean_onset_latency_s = 0.0;  // over explained loops
+
+  double explained_fraction() const {
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(
+                                  by_cause[static_cast<int>(
+                                      Cause::unexplained)]) /
+                                  static_cast<double>(total);
+  }
+};
+
+CorrelationSummary summarize(const std::vector<LoopExplanation>& explanations);
+
+}  // namespace rloop::correlate

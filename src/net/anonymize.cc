@@ -1,0 +1,62 @@
+#include "net/anonymize.h"
+
+#include "net/byteio.h"
+#include "net/checksum.h"
+
+namespace rloop::net {
+
+namespace {
+
+// splitmix64 finalizer as the keyed bit-PRF.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Ipv4Addr Anonymizer::map(Ipv4Addr addr) const {
+  std::uint32_t out = 0;
+  for (int i = 0; i < 32; ++i) {
+    // The flip decision for bit i depends only on bits 0..i-1 of the input
+    // (and the key), which is exactly what makes the mapping
+    // prefix-preserving and invertible.
+    const std::uint32_t prefix =
+        i == 0 ? 0 : (addr.value >> (32 - i)) << (32 - i);
+    const std::uint64_t flip =
+        mix(key_ ^ (std::uint64_t{prefix} << 8) ^ static_cast<std::uint64_t>(i)) &
+        1;
+    const std::uint32_t bit = (addr.value >> (31 - i)) & 1;
+    out = (out << 1) | (bit ^ static_cast<std::uint32_t>(flip));
+  }
+  return Ipv4Addr{out};
+}
+
+Trace Anonymizer::anonymize(const Trace& trace) const {
+  Trace out(trace.link_name() + " (anonymized)", trace.epoch_unix_s());
+  for (const auto& rec : trace.records()) {
+    TraceRecord copy = rec;
+    auto bytes = std::span<std::byte>(copy.data.data(), copy.cap_len);
+    std::size_t header_len = 0;
+    if (Ipv4Header::parse(bytes, &header_len)) {
+      const Ipv4Addr src{read_u32(bytes, 12)};
+      const Ipv4Addr dst{read_u32(bytes, 16)};
+      write_u32(bytes, 12, map(src).value);
+      write_u32(bytes, 16, map(dst).value);
+      // Recompute the header checksum over the captured header bytes.
+      write_u16(bytes, 10, 0);
+      const auto checksum = internet_checksum(
+          std::span<const std::byte>(copy.data.data(), header_len));
+      write_u16(bytes, 10, checksum);
+    }
+    out.add(copy.ts, std::span<const std::byte>(copy.data.data(), copy.cap_len),
+            copy.wire_len);
+  }
+  return out;
+}
+
+}  // namespace rloop::net

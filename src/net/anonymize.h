@@ -1,0 +1,41 @@
+// Prefix-preserving trace anonymization.
+//
+// Traces like the paper's cannot be shared with raw customer addresses.
+// The standard remedy (Crypto-PAn-style) maps addresses bit by bit so that
+// two addresses sharing a k-bit prefix map to addresses sharing exactly a
+// k-bit prefix — which preserves everything the loop detector relies on:
+// replica identity (all replicas of a packet share addresses), /24
+// aggregation, and longest-prefix structure.
+//
+// This implementation derives each flip bit from a keyed 64-bit mixer over
+// the address prefix (a simplified, dependency-free stand-in for the AES
+// PRF of Crypto-PAn; same structure, not cryptographic strength).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "net/trace.h"
+
+namespace rloop::net {
+
+class Anonymizer {
+ public:
+  explicit Anonymizer(std::uint64_t key) : key_(key) {}
+
+  // Deterministic, prefix-preserving address mapping.
+  Ipv4Addr map(Ipv4Addr addr) const;
+
+  // Returns a copy of `trace` with every parseable record's source and
+  // destination rewritten and the IP header checksum fixed up. Transport
+  // checksums are left untouched (they cover the pseudo-header, which can
+  // no longer be validated after anonymization; leaving them unchanged
+  // keeps replica identity intact, since replicas share addresses).
+  // Records whose IP header cannot be parsed are copied verbatim.
+  Trace anonymize(const Trace& trace) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace rloop::net

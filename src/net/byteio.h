@@ -1,0 +1,47 @@
+// Big-endian (network byte order) read/write helpers over byte buffers.
+//
+// All multi-byte fields in IP/TCP/UDP/ICMP headers are big-endian on the
+// wire; in-memory structs keep host-order integers and go through these
+// helpers at (de)serialization boundaries only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rloop::net {
+
+inline std::uint8_t read_u8(std::span<const std::byte> buf, std::size_t off) {
+  return static_cast<std::uint8_t>(buf[off]);
+}
+
+inline std::uint16_t read_u16(std::span<const std::byte> buf, std::size_t off) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(buf[off]) << 8) |
+      static_cast<std::uint16_t>(buf[off + 1]));
+}
+
+inline std::uint32_t read_u32(std::span<const std::byte> buf, std::size_t off) {
+  return (static_cast<std::uint32_t>(buf[off]) << 24) |
+         (static_cast<std::uint32_t>(buf[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[off + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[off + 3]);
+}
+
+inline void write_u8(std::span<std::byte> buf, std::size_t off, std::uint8_t v) {
+  buf[off] = static_cast<std::byte>(v);
+}
+
+inline void write_u16(std::span<std::byte> buf, std::size_t off, std::uint16_t v) {
+  buf[off] = static_cast<std::byte>(v >> 8);
+  buf[off + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+inline void write_u32(std::span<std::byte> buf, std::size_t off, std::uint32_t v) {
+  buf[off] = static_cast<std::byte>(v >> 24);
+  buf[off + 1] = static_cast<std::byte>((v >> 16) & 0xff);
+  buf[off + 2] = static_cast<std::byte>((v >> 8) & 0xff);
+  buf[off + 3] = static_cast<std::byte>(v & 0xff);
+}
+
+}  // namespace rloop::net

@@ -1,0 +1,56 @@
+#include "net/checksum.h"
+
+namespace rloop::net {
+
+std::uint32_t ones_complement_sum(std::span<const std::byte> data,
+                                  std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) |
+           static_cast<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t fold_checksum(std::uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) {
+  return fold_checksum(ones_complement_sum(data));
+}
+
+std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_word,
+                                          std::uint16_t new_word) {
+  // RFC 1624: HC' = ~(~HC + ~m + m'), computed in one's-complement arithmetic.
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint32_t pseudo_header_sum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                                std::uint8_t protocol,
+                                std::uint16_t transport_length) {
+  std::uint32_t sum = 0;
+  sum += src_addr >> 16;
+  sum += src_addr & 0xffff;
+  sum += dst_addr >> 16;
+  sum += dst_addr & 0xffff;
+  sum += protocol;
+  sum += transport_length;
+  return sum;
+}
+
+}  // namespace rloop::net

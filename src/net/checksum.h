@@ -1,0 +1,38 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// Routers in the simulator update the IP header checksum incrementally when
+// decrementing TTL — the same operation real routers perform — so a captured
+// replica differs from the original in exactly the TTL and checksum fields,
+// which is the invariant the paper's detector relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rloop::net {
+
+// One's-complement sum of 16-bit big-endian words; odd trailing byte is
+// padded with zero, per RFC 1071.
+std::uint32_t ones_complement_sum(std::span<const std::byte> data,
+                                  std::uint32_t initial = 0);
+
+// Folds carries and complements; the standard Internet checksum over `data`.
+std::uint16_t internet_checksum(std::span<const std::byte> data);
+
+// RFC 1624 (eqn. 3) incremental checksum update when one 16-bit header word
+// changes from `old_word` to `new_word`.
+std::uint16_t incremental_checksum_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_word,
+                                          std::uint16_t new_word);
+
+// Pseudo-header seed for TCP/UDP checksums: src/dst address, protocol and
+// transport-segment length, per RFC 793 / RFC 768.
+std::uint32_t pseudo_header_sum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                                std::uint8_t protocol,
+                                std::uint16_t transport_length);
+
+// Folds a 32-bit one's-complement accumulator into a final 16-bit checksum.
+std::uint16_t fold_checksum(std::uint32_t sum);
+
+}  // namespace rloop::net

@@ -1,0 +1,102 @@
+#include "net/ipv4.h"
+
+#include <array>
+
+#include "net/byteio.h"
+#include "net/checksum.h"
+
+namespace rloop::net {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  out += std::to_string((value >> 24) & 0xff);
+  out += '.';
+  out += std::to_string((value >> 16) & 0xff);
+  out += '.';
+  out += std::to_string((value >> 8) & 0xff);
+  out += '.';
+  out += std::to_string(value & 0xff);
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+      return std::nullopt;
+    }
+    std::uint32_t part = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      part = part * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      if (part > 255) return std::nullopt;
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || digits > 3) return std::nullopt;
+    value = (value << 8) | part;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+void Ipv4Header::serialize(std::span<std::byte> out) const {
+  write_u8(out, 0, 0x45);  // version 4, IHL 5
+  write_u8(out, 1, tos);
+  write_u16(out, 2, total_length);
+  write_u16(out, 4, id);
+  std::uint16_t frag = fragment_offset & 0x1fff;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  write_u16(out, 6, frag);
+  write_u8(out, 8, ttl);
+  write_u8(out, 9, protocol);
+  write_u16(out, 10, checksum);
+  write_u32(out, 12, src.value);
+  write_u32(out, 16, dst.value);
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  copy.serialize(buf);
+  return internet_checksum(buf);
+}
+
+bool Ipv4Header::checksum_valid() const { return checksum == compute_checksum(); }
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::byte> buf,
+                                            std::size_t* header_length_out) {
+  if (buf.size() < kIpv4HeaderSize) return std::nullopt;
+  const std::uint8_t version_ihl = read_u8(buf, 0);
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t header_length = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (header_length < kIpv4HeaderSize) return std::nullopt;
+  if (buf.size() < header_length) return std::nullopt;
+
+  Ipv4Header h;
+  h.tos = read_u8(buf, 1);
+  h.total_length = read_u16(buf, 2);
+  if (h.total_length < header_length) return std::nullopt;
+  h.id = read_u16(buf, 4);
+  const std::uint16_t frag = read_u16(buf, 6);
+  h.dont_fragment = (frag & 0x4000) != 0;
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1fff;
+  h.ttl = read_u8(buf, 8);
+  h.protocol = read_u8(buf, 9);
+  h.checksum = read_u16(buf, 10);
+  h.src = Ipv4Addr{read_u32(buf, 12)};
+  h.dst = Ipv4Addr{read_u32(buf, 16)};
+  if (header_length_out) *header_length_out = header_length;
+  return h;
+}
+
+}  // namespace rloop::net

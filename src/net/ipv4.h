@@ -1,0 +1,77 @@
+// IPv4 address and header types.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace rloop::net {
+
+// IPv4 address held in host order; serialization converts to network order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value(v) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string to_string() const;
+  // Parses dotted-quad "a.b.c.d"; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(const std::string& text);
+};
+
+enum class IpProto : std::uint8_t {
+  icmp = 1,
+  igmp = 2,
+  tcp = 6,
+  udp = 17,
+};
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+
+// IPv4 header without options (IHL == 5), which covers every packet the
+// simulator emits and the vast majority of backbone traffic. Parsing accepts
+// larger IHL values but only when the capture contains the full header.
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t id = 0;            // IP identification: distinguishes packets
+                                   // of a flow from replicas of one packet
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;  // raw value; see IpProto for known ones
+  std::uint16_t checksum = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  bool operator==(const Ipv4Header&) const = default;
+
+  // Serializes 20 bytes into `out` (must be >= 20 bytes). The checksum field
+  // is written as-is; call compute_checksum() first for a valid packet.
+  void serialize(std::span<std::byte> out) const;
+
+  // Returns the correct header checksum for the current field values.
+  std::uint16_t compute_checksum() const;
+  // True when the stored checksum matches the field values.
+  bool checksum_valid() const;
+
+  // Parses a header from `buf`. Returns nullopt for: short buffer, version
+  // != 4, IHL < 5, or total_length smaller than the header. Parsed headers
+  // with options have the option bytes skipped; `header_length_out` (when
+  // non-null) receives the full IHL in bytes so callers can locate the
+  // transport header.
+  static std::optional<Ipv4Header> parse(std::span<const std::byte> buf,
+                                         std::size_t* header_length_out = nullptr);
+};
+
+}  // namespace rloop::net

@@ -1,0 +1,191 @@
+#include "net/packet.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "net/checksum.h"
+
+namespace rloop::net {
+
+std::optional<std::uint16_t> ParsedPacket::transport_checksum() const {
+  if (const auto* t = tcp()) return t->checksum;
+  if (const auto* u = udp()) return u->checksum;
+  if (const auto* i = icmp()) return i->checksum;
+  return std::nullopt;
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::byte> buf) {
+  std::size_t ip_header_length = 0;
+  auto ip = Ipv4Header::parse(buf, &ip_header_length);
+  if (!ip) return std::nullopt;
+
+  ParsedPacket pkt;
+  pkt.ip = *ip;
+
+  // A non-first fragment carries no transport header.
+  if (ip->fragment_offset != 0) return pkt;
+
+  const auto rest = buf.subspan(std::min(ip_header_length, buf.size()));
+  switch (static_cast<IpProto>(ip->protocol)) {
+    case IpProto::tcp:
+      if (auto t = TcpHeader::parse(rest)) pkt.transport = *t;
+      break;
+    case IpProto::udp:
+      if (auto u = UdpHeader::parse(rest)) pkt.transport = *u;
+      break;
+    case IpProto::icmp:
+      if (auto i = IcmpHeader::parse(rest)) pkt.transport = *i;
+      break;
+    default:
+      break;
+  }
+  return pkt;
+}
+
+std::size_t serialize_packet(const ParsedPacket& pkt, std::span<std::byte> out) {
+  std::size_t transport_size = 0;
+  if (pkt.tcp()) transport_size = kTcpHeaderSize;
+  else if (pkt.udp()) transport_size = kUdpHeaderSize;
+  else if (pkt.icmp()) transport_size = kIcmpHeaderSize;
+
+  const std::size_t total = kIpv4HeaderSize + transport_size;
+  if (out.size() < total) {
+    throw std::invalid_argument("serialize_packet: output buffer too small");
+  }
+  pkt.ip.serialize(out);
+  auto rest = out.subspan(kIpv4HeaderSize);
+  if (const auto* t = pkt.tcp()) t->serialize(rest);
+  else if (const auto* u = pkt.udp()) u->serialize(rest);
+  else if (const auto* i = pkt.icmp()) i->serialize(rest);
+  return total;
+}
+
+namespace {
+
+// Computes the checksum of a transport header plus `payload_len` zero bytes,
+// seeded with the IPv4 pseudo-header.
+template <typename Header>
+std::uint16_t transport_checksum_of(const Ipv4Header& ip, const Header& header,
+                                    std::size_t header_size,
+                                    std::uint16_t payload_len) {
+  std::array<std::byte, kTcpHeaderSize> buf{};
+  Header copy = header;
+  copy.checksum = 0;
+  copy.serialize(buf);
+  const auto transport_len =
+      static_cast<std::uint16_t>(header_size + payload_len);
+  std::uint32_t sum =
+      pseudo_header_sum(ip.src.value, ip.dst.value, ip.protocol, transport_len);
+  sum = ones_complement_sum(std::span<const std::byte>(buf.data(), header_size),
+                            sum);
+  // Zero payload contributes nothing to the sum.
+  std::uint16_t checksum = fold_checksum(sum);
+  // Per RFC 768 a computed UDP checksum of 0 is transmitted as 0xffff.
+  if (checksum == 0) checksum = 0xffff;
+  return checksum;
+}
+
+// ICMP checksums do not include a pseudo-header (RFC 792).
+std::uint16_t icmp_checksum_of(const IcmpHeader& header) {
+  std::array<std::byte, kIcmpHeaderSize> buf{};
+  IcmpHeader copy = header;
+  copy.checksum = 0;
+  copy.serialize(buf);
+  return internet_checksum(buf);
+}
+
+Ipv4Header base_ip_header(Ipv4Addr src, Ipv4Addr dst, IpProto proto,
+                          std::uint16_t payload_and_transport,
+                          std::uint8_t ttl, std::uint16_t ip_id) {
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = static_cast<std::uint8_t>(proto);
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderSize + payload_and_transport);
+  ip.ttl = ttl;
+  ip.id = ip_id;
+  ip.dont_fragment = true;
+  ip.checksum = ip.compute_checksum();
+  return ip;
+}
+
+}  // namespace
+
+void finalize_transport_checksum(ParsedPacket& pkt) {
+  const std::size_t transport_and_payload =
+      pkt.ip.total_length > kIpv4HeaderSize
+          ? pkt.ip.total_length - kIpv4HeaderSize
+          : 0;
+  if (auto* t = std::get_if<TcpHeader>(&pkt.transport)) {
+    const auto payload = static_cast<std::uint16_t>(
+        transport_and_payload > kTcpHeaderSize
+            ? transport_and_payload - kTcpHeaderSize
+            : 0);
+    t->checksum = transport_checksum_of(pkt.ip, *t, kTcpHeaderSize, payload);
+  } else if (auto* u = std::get_if<UdpHeader>(&pkt.transport)) {
+    const auto payload = static_cast<std::uint16_t>(
+        transport_and_payload > kUdpHeaderSize
+            ? transport_and_payload - kUdpHeaderSize
+            : 0);
+    u->length = static_cast<std::uint16_t>(kUdpHeaderSize + payload);
+    u->checksum = transport_checksum_of(pkt.ip, *u, kUdpHeaderSize, payload);
+  } else if (auto* i = std::get_if<IcmpHeader>(&pkt.transport)) {
+    i->checksum = icmp_checksum_of(*i);
+  }
+}
+
+ParsedPacket make_tcp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                             std::uint16_t dst_port, std::uint32_t seq,
+                             std::uint32_t ack, std::uint8_t flags,
+                             std::uint16_t payload_len, std::uint8_t ttl,
+                             std::uint16_t ip_id) {
+  ParsedPacket pkt;
+  pkt.ip = base_ip_header(src, dst, IpProto::tcp,
+                          static_cast<std::uint16_t>(kTcpHeaderSize + payload_len),
+                          ttl, ip_id);
+  TcpHeader t;
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  t.seq = seq;
+  t.ack = ack;
+  t.flags = flags;
+  t.window = 65535;
+  pkt.transport = t;
+  finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+ParsedPacket make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                             std::uint16_t dst_port, std::uint16_t payload_len,
+                             std::uint8_t ttl, std::uint16_t ip_id) {
+  ParsedPacket pkt;
+  pkt.ip = base_ip_header(src, dst, IpProto::udp,
+                          static_cast<std::uint16_t>(kUdpHeaderSize + payload_len),
+                          ttl, ip_id);
+  UdpHeader u;
+  u.src_port = src_port;
+  u.dst_port = dst_port;
+  pkt.transport = u;
+  finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+ParsedPacket make_icmp_packet(Ipv4Addr src, Ipv4Addr dst, IcmpType type,
+                              std::uint8_t code, std::uint32_t rest,
+                              std::uint16_t payload_len, std::uint8_t ttl,
+                              std::uint16_t ip_id) {
+  ParsedPacket pkt;
+  pkt.ip = base_ip_header(src, dst, IpProto::icmp,
+                          static_cast<std::uint16_t>(kIcmpHeaderSize + payload_len),
+                          ttl, ip_id);
+  IcmpHeader i;
+  i.type = static_cast<std::uint8_t>(type);
+  i.code = code;
+  i.rest = rest;
+  pkt.transport = i;
+  finalize_transport_checksum(pkt);
+  return pkt;
+}
+
+}  // namespace rloop::net

@@ -1,0 +1,74 @@
+// Parsed packet representation and packet construction helpers.
+//
+// A ParsedPacket is the decoded view of the bytes a trace captured for one
+// packet: the IPv4 header plus whichever transport header is present. It is
+// also the unit the simulator forwards, so the exact same type flows from
+// traffic generation through routers into traces and the detector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+
+#include "net/ipv4.h"
+#include "net/transport.h"
+
+namespace rloop::net {
+
+// Maximum bytes serialized for any simulator packet: IP + TCP headers.
+inline constexpr std::size_t kMaxHeaderBytes = kIpv4HeaderSize + kTcpHeaderSize;
+
+struct ParsedPacket {
+  Ipv4Header ip;
+  // monostate: unknown protocol, fragment without transport header, or the
+  // capture was too short to include the transport header.
+  std::variant<std::monostate, TcpHeader, UdpHeader, IcmpHeader> transport;
+
+  bool operator==(const ParsedPacket&) const = default;
+
+  const TcpHeader* tcp() const { return std::get_if<TcpHeader>(&transport); }
+  const UdpHeader* udp() const { return std::get_if<UdpHeader>(&transport); }
+  const IcmpHeader* icmp() const { return std::get_if<IcmpHeader>(&transport); }
+
+  // The transport checksum stands in for payload identity in the paper's
+  // replica test (only 40 bytes are captured). nullopt when no transport
+  // header was captured.
+  std::optional<std::uint16_t> transport_checksum() const;
+};
+
+// Decodes an IPv4 packet from captured bytes. Transport decoding is
+// best-effort: a valid IP header with an unknown or truncated transport
+// yields monostate, not failure. Returns nullopt only when the IP header
+// itself is absent or malformed.
+std::optional<ParsedPacket> parse_packet(std::span<const std::byte> buf);
+
+// Serializes the headers of `pkt` into `out`; returns bytes written
+// (20, 28, 28 or 40 depending on transport). Throws std::invalid_argument
+// when `out` is too small. Payload bytes are never serialized: the library
+// models 40-byte snaplen captures, and payload identity travels via the
+// transport checksum.
+std::size_t serialize_packet(const ParsedPacket& pkt, std::span<std::byte> out);
+
+// Construction helpers. All fill in correct IP total_length, IP checksum and
+// a transport checksum computed as if the payload were `payload_len` zero
+// bytes — deterministic, and constant across replicas of the same packet.
+ParsedPacket make_tcp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                             std::uint16_t dst_port, std::uint32_t seq,
+                             std::uint32_t ack, std::uint8_t flags,
+                             std::uint16_t payload_len, std::uint8_t ttl,
+                             std::uint16_t ip_id);
+ParsedPacket make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                             std::uint16_t dst_port, std::uint16_t payload_len,
+                             std::uint8_t ttl, std::uint16_t ip_id);
+ParsedPacket make_icmp_packet(Ipv4Addr src, Ipv4Addr dst, IcmpType type,
+                              std::uint8_t code, std::uint32_t rest,
+                              std::uint16_t payload_len, std::uint8_t ttl,
+                              std::uint16_t ip_id);
+
+// Recomputes and stores the transport checksum of `pkt` (pseudo-header +
+// transport header + zero payload). Used by the builders and by tests.
+void finalize_transport_checksum(ParsedPacket& pkt);
+
+}  // namespace rloop::net

@@ -1,0 +1,48 @@
+#include "net/prefix.h"
+
+#include <stdexcept>
+
+namespace rloop::net {
+
+std::uint32_t Prefix::netmask() const {
+  if (len == 0) return 0;
+  return ~std::uint32_t{0} << (32 - len);
+}
+
+Prefix Prefix::of(Ipv4Addr a, std::uint8_t length) {
+  if (length > 32) throw std::invalid_argument("Prefix::of: length > 32");
+  Prefix p;
+  p.len = length;
+  p.addr = Ipv4Addr{a.value & p.netmask()};
+  return p;
+}
+
+bool Prefix::contains(Ipv4Addr a) const {
+  return (a.value & netmask()) == addr.value;
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  return other.len >= len && contains(other.addr);
+}
+
+std::string Prefix::to_string() const {
+  return addr.to_string() + "/" + std::to_string(len);
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string len_part = text.substr(slash + 1);
+  if (len_part.empty() || len_part.size() > 2) return std::nullopt;
+  int len = 0;
+  for (char c : len_part) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Prefix::of(*addr, static_cast<std::uint8_t>(len));
+}
+
+}  // namespace rloop::net

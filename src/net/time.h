@@ -1,0 +1,32 @@
+// Time representation shared across the library.
+//
+// All timestamps are signed 64-bit nanoseconds. Trace timestamps are relative
+// to the trace epoch (a UNIX-seconds base stored in Trace metadata), which
+// keeps arithmetic exact and deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace rloop::net {
+
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+
+inline constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / 1e9;
+}
+inline constexpr double to_millis(TimeNs t) {
+  return static_cast<double>(t) / 1e6;
+}
+inline constexpr TimeNs from_seconds(double s) {
+  return static_cast<TimeNs>(s * 1e9);
+}
+inline constexpr TimeNs from_millis(double ms) {
+  return static_cast<TimeNs>(ms * 1e6);
+}
+
+}  // namespace rloop::net

@@ -1,0 +1,71 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace rloop::net {
+
+void Trace::add(TimeNs ts, std::span<const std::byte> packet_bytes,
+                std::uint32_t wire_len) {
+  if (!records_.empty() && ts < records_.back().ts) {
+    throw std::invalid_argument("Trace::add: timestamps must be non-decreasing");
+  }
+  TraceRecord rec;
+  rec.ts = ts;
+  rec.wire_len = wire_len;
+  rec.cap_len = static_cast<std::uint8_t>(std::min(packet_bytes.size(), kSnapLen));
+  std::copy_n(packet_bytes.begin(), rec.cap_len, rec.data.begin());
+  total_wire_bytes_ += wire_len;
+  records_.push_back(rec);
+}
+
+void Trace::add(TimeNs ts, const ParsedPacket& pkt, std::uint32_t wire_len) {
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  const std::size_t n = serialize_packet(pkt, buf);
+  add(ts, std::span<const std::byte>(buf.data(), n), wire_len);
+}
+
+TimeNs Trace::duration() const {
+  if (records_.size() < 2) return 0;
+  return records_.back().ts - records_.front().ts;
+}
+
+double Trace::average_bandwidth_mbps() const {
+  const TimeNs d = duration();
+  if (d <= 0) return 0.0;
+  return static_cast<double>(total_wire_bytes_) * 8.0 / to_seconds(d) / 1e6;
+}
+
+Trace sample_trace(const Trace& trace, double keep_prob, std::uint64_t seed) {
+  if (keep_prob < 0.0 || keep_prob > 1.0) {
+    throw std::invalid_argument("sample_trace: keep_prob outside [0,1]");
+  }
+  Trace out(trace.link_name() + " (sampled)", trace.epoch_unix_s());
+  // Inline splitmix64 stream: one draw per record, no util dependency.
+  std::uint64_t state = seed;
+  auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  // keep_prob == 1.0 would overflow the uint64 cast (2^64); handle exactly.
+  const std::uint64_t threshold =
+      keep_prob >= 1.0
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(keep_prob * 18446744073709551616.0);
+  for (const auto& rec : trace.records()) {
+    const std::uint64_t draw = next();
+    const bool keep = keep_prob >= 1.0 || draw < threshold;
+    if (keep) {
+      out.add(rec.ts, rec.bytes(), rec.wire_len);
+    }
+  }
+  return out;
+}
+
+}  // namespace rloop::net

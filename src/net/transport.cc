@@ -1,0 +1,86 @@
+#include "net/transport.h"
+
+#include "net/byteio.h"
+
+namespace rloop::net {
+
+void TcpHeader::serialize(std::span<std::byte> out) const {
+  write_u16(out, 0, src_port);
+  write_u16(out, 2, dst_port);
+  write_u32(out, 4, seq);
+  write_u32(out, 8, ack);
+  write_u8(out, 12, static_cast<std::uint8_t>(data_offset << 4));
+  write_u8(out, 13, flags);
+  write_u16(out, 14, window);
+  write_u16(out, 16, checksum);
+  write_u16(out, 18, urgent_pointer);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kTcpHeaderSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = read_u16(buf, 0);
+  h.dst_port = read_u16(buf, 2);
+  h.seq = read_u32(buf, 4);
+  h.ack = read_u32(buf, 8);
+  h.data_offset = read_u8(buf, 12) >> 4;
+  if (h.data_offset < 5) return std::nullopt;
+  h.flags = read_u8(buf, 13) & 0x3f;
+  h.window = read_u16(buf, 14);
+  h.checksum = read_u16(buf, 16);
+  h.urgent_pointer = read_u16(buf, 18);
+  return h;
+}
+
+void UdpHeader::serialize(std::span<std::byte> out) const {
+  write_u16(out, 0, src_port);
+  write_u16(out, 2, dst_port);
+  write_u16(out, 4, length);
+  write_u16(out, 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kUdpHeaderSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = read_u16(buf, 0);
+  h.dst_port = read_u16(buf, 2);
+  h.length = read_u16(buf, 4);
+  if (h.length < kUdpHeaderSize) return std::nullopt;
+  h.checksum = read_u16(buf, 6);
+  return h;
+}
+
+void IcmpHeader::serialize(std::span<std::byte> out) const {
+  write_u8(out, 0, type);
+  write_u8(out, 1, code);
+  write_u16(out, 2, checksum);
+  write_u32(out, 4, rest);
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(std::span<const std::byte> buf) {
+  if (buf.size() < kIcmpHeaderSize) return std::nullopt;
+  IcmpHeader h;
+  h.type = read_u8(buf, 0);
+  h.code = read_u8(buf, 1);
+  h.checksum = read_u16(buf, 2);
+  h.rest = read_u32(buf, 4);
+  return h;
+}
+
+std::string tcp_flags_to_string(std::uint8_t flags) {
+  std::string out;
+  auto append = [&](const char* name) {
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  if (flags & kTcpSyn) append("SYN");
+  if (flags & kTcpAck) append("ACK");
+  if (flags & kTcpFin) append("FIN");
+  if (flags & kTcpRst) append("RST");
+  if (flags & kTcpPsh) append("PSH");
+  if (flags & kTcpUrg) append("URG");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace rloop::net

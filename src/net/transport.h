@@ -1,0 +1,82 @@
+// TCP, UDP and ICMP header types, as captured in 40-byte snaplen traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace rloop::net {
+
+inline constexpr std::size_t kTcpHeaderSize = 20;
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::size_t kIcmpHeaderSize = 8;
+
+// TCP flag bits as laid out in the 13th header byte.
+enum TcpFlag : std::uint8_t {
+  kTcpFin = 0x01,
+  kTcpSyn = 0x02,
+  kTcpRst = 0x04,
+  kTcpPsh = 0x08,
+  kTcpAck = 0x10,
+  kTcpUrg = 0x20,
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // header length in 32-bit words
+  std::uint8_t flags = 0;        // TcpFlag bits
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+
+  bool operator==(const TcpHeader&) const = default;
+
+  bool has(TcpFlag f) const { return (flags & f) != 0; }
+
+  // Serializes the fixed 20-byte header (options are not emitted even when
+  // data_offset > 5; the simulator never produces options).
+  void serialize(std::span<std::byte> out) const;
+  static std::optional<TcpHeader> parse(std::span<const std::byte> buf);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  bool operator==(const UdpHeader&) const = default;
+
+  void serialize(std::span<std::byte> out) const;
+  static std::optional<UdpHeader> parse(std::span<const std::byte> buf);
+};
+
+// Common ICMP types referenced in the paper's analysis.
+enum class IcmpType : std::uint8_t {
+  echo_reply = 0,
+  dest_unreachable = 3,
+  echo_request = 8,
+  time_exceeded = 11,
+};
+
+struct IcmpHeader {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;  // identifier/sequence for echo; unused otherwise
+
+  bool operator==(const IcmpHeader&) const = default;
+
+  void serialize(std::span<std::byte> out) const;
+  static std::optional<IcmpHeader> parse(std::span<const std::byte> buf);
+};
+
+// Human-readable protocol/flag labels used by the traffic-mix figures.
+std::string tcp_flags_to_string(std::uint8_t flags);
+
+}  // namespace rloop::net

@@ -1,0 +1,39 @@
+#include "routing/bgp_lite.h"
+
+#include <algorithm>
+
+namespace rloop::routing {
+
+std::vector<FibUpdate> bgp_event_schedule(const Topology& topo, NodeId origin,
+                                          net::TimeNs event_time,
+                                          const BgpConfig& config,
+                                          util::Rng& rng) {
+  std::vector<FibUpdate> schedule;
+  schedule.reserve(topo.node_count());
+  for (const auto& node : topo.nodes()) {
+    if (node.id == origin) {
+      // The egress itself sees the E-BGP session drop almost immediately.
+      schedule.push_back(
+          {node.id, event_time + rng.uniform_int(net::kMillisecond,
+                                                 50 * net::kMillisecond)});
+      continue;
+    }
+    const auto lo = config.ibgp_prop_mean > config.ibgp_prop_jitter
+                        ? config.ibgp_prop_mean - config.ibgp_prop_jitter
+                        : net::TimeNs{0};
+    net::TimeNs t = event_time +
+                    rng.uniform_int(lo, config.ibgp_prop_mean +
+                                            config.ibgp_prop_jitter);
+    if (config.mrai_max > 0) t += rng.uniform_int(0, config.mrai_max);
+    if (config.slow_extra_mean > 0 &&
+        std::find(config.slow_nodes.begin(), config.slow_nodes.end(),
+                  node.id) != config.slow_nodes.end()) {
+      t += static_cast<net::TimeNs>(
+          rng.exponential(static_cast<double>(config.slow_extra_mean)));
+    }
+    schedule.push_back({node.id, t});
+  }
+  return schedule;
+}
+
+}  // namespace rloop::routing

@@ -1,0 +1,52 @@
+// BGP-lite: externally-learned prefixes and the convergence model for
+// withdrawal/announcement events propagated over a full I-BGP mesh.
+//
+// The paper attributes its longest transient loops to EGP events (Labovitz
+// et al. measured minutes of BGP convergence). Here a prefix is reachable
+// via an ordered preference list of egress routers; when the best egress
+// withdraws, every router independently — after I-BGP propagation,
+// processing jitter and an MRAI-like delay — switches its FIB entry toward
+// the next-preferred egress. Routers that have switched coexist with routers
+// that have not, which is precisely the inconsistency that loops traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/time.h"
+#include "routing/link_state.h"
+#include "routing/topology.h"
+#include "util/random.h"
+
+namespace rloop::routing {
+
+// An external prefix and where it exits the AS, best egress first.
+struct ExternalRoute {
+  net::Prefix prefix;
+  std::vector<NodeId> egress_preference;
+};
+
+struct BgpConfig {
+  // One-hop I-BGP propagation (full mesh) plus per-router processing.
+  net::TimeNs ibgp_prop_mean = 150 * net::kMillisecond;
+  net::TimeNs ibgp_prop_jitter = 100 * net::kMillisecond;
+  // Additional uniform [0, mrai_max] delay modelling rate-limited updates and
+  // slow BGP convergence; seconds-to-tens-of-seconds in practice.
+  net::TimeNs mrai_max = 8 * net::kSecond;
+  // Route-reflector clients (or otherwise slow speakers): updates reach
+  // these nodes through an extra reflection hop, adding an exponential
+  // delay with this mean on top of the mesh propagation. Empty = full mesh.
+  std::vector<NodeId> slow_nodes;
+  net::TimeNs slow_extra_mean = 0;
+};
+
+// Per-router instants at which the FIB entry for a withdrawn prefix switches
+// to the new egress. `origin` (the egress that lost the route) switches after
+// only a local detection delay; everyone else waits for I-BGP + MRAI.
+std::vector<FibUpdate> bgp_event_schedule(const Topology& topo, NodeId origin,
+                                          net::TimeNs event_time,
+                                          const BgpConfig& config,
+                                          util::Rng& rng);
+
+}  // namespace rloop::routing

@@ -1,0 +1,128 @@
+#include "routing/link_state.h"
+
+#include <limits>
+#include <queue>
+
+namespace rloop::routing {
+
+SpfResult compute_spf(const Topology& topo, NodeId root) {
+  const auto n = topo.node_count();
+  SpfResult result;
+  result.next_hop_link.assign(n, -1);
+  result.distance.assign(n, std::numeric_limits<std::uint64_t>::max());
+  result.distance[static_cast<std::size_t>(root)] = 0;
+
+  // (distance, node) min-heap; ties resolved by node id for determinism.
+  using Entry = std::pair<std::uint64_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0, root});
+  std::vector<bool> done(n, false);
+
+  while (!heap.empty()) {
+    const auto [dist, u] = heap.top();
+    heap.pop();
+    if (done[static_cast<std::size_t>(u)]) continue;
+    done[static_cast<std::size_t>(u)] = true;
+
+    for (const auto& adj : topo.neighbors(u)) {
+      const Link& l = topo.link(adj.link);
+      if (!l.up) continue;
+      const NodeId v = adj.neighbor;
+      const std::uint64_t nd = dist + l.igp_cost;
+      auto& dv = result.distance[static_cast<std::size_t>(v)];
+      const LinkId first_hop =
+          (u == root) ? adj.link
+                      : result.next_hop_link[static_cast<std::size_t>(u)];
+      if (nd < dv) {
+        dv = nd;
+        result.next_hop_link[static_cast<std::size_t>(v)] = first_hop;
+        heap.push({nd, v});
+      } else if (nd == dv && !done[static_cast<std::size_t>(v)]) {
+        // Deterministic equal-cost tie-break: keep the lower first-hop link.
+        auto& hop = result.next_hop_link[static_cast<std::size_t>(v)];
+        if (first_hop >= 0 && (hop < 0 || first_hop < hop)) hop = first_hop;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Hop counts from `start` over up links, ignoring `skip_link` (the failed
+// link cannot carry the LSA that reports its own failure).
+std::vector<int> bfs_hops(const Topology& topo, NodeId start, LinkId skip_link) {
+  std::vector<int> hops(topo.node_count(), -1);
+  std::queue<NodeId> queue;
+  hops[static_cast<std::size_t>(start)] = 0;
+  queue.push(start);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const auto& adj : topo.neighbors(u)) {
+      if (adj.link == skip_link) continue;
+      if (!topo.link(adj.link).up) continue;
+      if (hops[static_cast<std::size_t>(adj.neighbor)] >= 0) continue;
+      hops[static_cast<std::size_t>(adj.neighbor)] =
+          hops[static_cast<std::size_t>(u)] + 1;
+      queue.push(adj.neighbor);
+    }
+  }
+  return hops;
+}
+
+net::TimeNs jittered(net::TimeNs mean, net::TimeNs jitter, util::Rng& rng) {
+  if (jitter <= 0) return mean;
+  const auto lo = mean > jitter ? mean - jitter : net::TimeNs{0};
+  return rng.uniform_int(lo, mean + jitter);
+}
+
+}  // namespace
+
+std::vector<FibUpdate> link_event_schedule(const Topology& topo, LinkId link,
+                                           net::TimeNs event_time,
+                                           const ConvergenceConfig& config,
+                                           util::Rng& rng) {
+  const Link& l = topo.link(link);
+  const net::TimeNs detect_a =
+      event_time + jittered(config.detect_delay_mean,
+                            config.detect_delay_jitter, rng);
+  const net::TimeNs detect_b =
+      event_time + jittered(config.detect_delay_mean,
+                            config.detect_delay_jitter, rng);
+
+  const auto hops_a = bfs_hops(topo, l.a, link);
+  const auto hops_b = bfs_hops(topo, l.b, link);
+
+  std::vector<FibUpdate> schedule;
+  schedule.reserve(topo.node_count());
+  for (const auto& node : topo.nodes()) {
+    const auto i = static_cast<std::size_t>(node.id);
+    net::TimeNs learn = std::numeric_limits<net::TimeNs>::max();
+    if (hops_a[i] >= 0) {
+      net::TimeNs t = detect_a;
+      for (int h = 0; h < hops_a[i]; ++h) {
+        t += jittered(config.flood_per_hop_mean, config.flood_per_hop_jitter,
+                      rng);
+      }
+      learn = std::min(learn, t);
+    }
+    if (hops_b[i] >= 0) {
+      net::TimeNs t = detect_b;
+      for (int h = 0; h < hops_b[i]; ++h) {
+        t += jittered(config.flood_per_hop_mean, config.flood_per_hop_jitter,
+                      rng);
+      }
+      learn = std::min(learn, t);
+    }
+    if (learn == std::numeric_limits<net::TimeNs>::max()) continue;  // isolated
+
+    const net::TimeNs fib_time =
+        learn + jittered(config.spf_delay_mean, config.spf_delay_jitter, rng) +
+        jittered(config.fib_update_mean, config.fib_update_jitter, rng);
+    schedule.push_back({node.id, fib_time});
+  }
+  return schedule;
+}
+
+}  // namespace rloop::routing

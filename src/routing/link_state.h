@@ -1,0 +1,71 @@
+// Link-state routing: shortest-path-first computation and a convergence
+// model for link failure/restoration events.
+//
+// Transient loops (the paper's subject) exist because routers update their
+// FIBs at *different* times after a topology change: failure detection,
+// per-hop LSA flooding, SPF recomputation and FIB download each contribute
+// delay (Section II-B of the paper; Alaettinoglu et al.; Iannaccone et al.).
+// This module computes, for a given event, the instant at which each router's
+// FIB reflects the new topology. The simulator applies the per-router FIB
+// swaps at those instants; loops then *emerge* rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/time.h"
+#include "routing/topology.h"
+#include "util/random.h"
+
+namespace rloop::routing {
+
+struct SpfResult {
+  // For each destination node: the first-hop link from the root, or -1 when
+  // the destination is the root itself or unreachable.
+  std::vector<LinkId> next_hop_link;
+  // IGP distance; max() when unreachable.
+  std::vector<std::uint64_t> distance;
+
+  bool reachable(NodeId dest) const {
+    return next_hop_link.at(static_cast<std::size_t>(dest)) >= 0;
+  }
+};
+
+// Dijkstra over up links with deterministic tie-breaking (lower node id
+// wins), so repeated runs produce identical FIBs.
+SpfResult compute_spf(const Topology& topo, NodeId root);
+
+// A router's FIB becoming consistent with the new topology at `time`.
+struct FibUpdate {
+  NodeId node = -1;
+  net::TimeNs time = 0;
+};
+
+struct ConvergenceConfig {
+  // Time for a link endpoint to detect loss of the link (point-to-point
+  // links detect in milliseconds; protocol hello timers bound the worst
+  // case — paper §II-B).
+  net::TimeNs detect_delay_mean = 30 * net::kMillisecond;
+  net::TimeNs detect_delay_jitter = 20 * net::kMillisecond;
+  // Per-hop LSA flooding cost: propagation + pacing + processing.
+  net::TimeNs flood_per_hop_mean = 15 * net::kMillisecond;
+  net::TimeNs flood_per_hop_jitter = 10 * net::kMillisecond;
+  // SPF scheduling/computation delay once the LSA arrives.
+  net::TimeNs spf_delay_mean = 100 * net::kMillisecond;
+  net::TimeNs spf_delay_jitter = 80 * net::kMillisecond;
+  // FIB download time; implementation-dependent and often the dominant term
+  // (paper cites [7]: overall convergence of seconds).
+  net::TimeNs fib_update_mean = 400 * net::kMillisecond;
+  net::TimeNs fib_update_jitter = 350 * net::kMillisecond;
+};
+
+// Schedule of per-router FIB updates after `link` changes state at
+// `event_time`. The returned vector has one entry per router that can reach
+// the event (always all routers in a connected topology), in unspecified
+// order. Deterministic given the Rng state.
+std::vector<FibUpdate> link_event_schedule(const Topology& topo, LinkId link,
+                                           net::TimeNs event_time,
+                                           const ConvergenceConfig& config,
+                                           util::Rng& rng);
+
+}  // namespace rloop::routing

@@ -1,0 +1,130 @@
+#include "routing/lpm_trie.h"
+
+#include <algorithm>
+
+namespace rloop::routing {
+
+struct LpmTrie::Node {
+  std::unique_ptr<Node> child[2];
+  std::optional<std::uint32_t> value;
+};
+
+LpmTrie::LpmTrie() : root_(std::make_unique<Node>()) {}
+LpmTrie::~LpmTrie() = default;
+LpmTrie::LpmTrie(LpmTrie&&) noexcept = default;
+LpmTrie& LpmTrie::operator=(LpmTrie&&) noexcept = default;
+
+namespace {
+// Bit i (0 = most significant) of an address.
+inline int bit_at(std::uint32_t addr, int i) { return (addr >> (31 - i)) & 1; }
+}  // namespace
+
+void LpmTrie::insert(const net::Prefix& prefix, std::uint32_t value) {
+  Node* node = root_.get();
+  for (int i = 0; i < prefix.len; ++i) {
+    const int b = bit_at(prefix.addr.value, i);
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (!node->value) ++size_;
+  node->value = value;
+}
+
+bool LpmTrie::remove(const net::Prefix& prefix) {
+  // Track the path so empty nodes can be pruned on the way back.
+  std::vector<std::pair<Node*, int>> path;
+  Node* node = root_.get();
+  for (int i = 0; i < prefix.len; ++i) {
+    const int b = bit_at(prefix.addr.value, i);
+    if (!node->child[b]) return false;
+    path.emplace_back(node, b);
+    node = node->child[b].get();
+  }
+  if (!node->value) return false;
+  node->value.reset();
+  --size_;
+  // Prune childless, valueless nodes.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node* child = it->first->child[it->second].get();
+    if (child->value || child->child[0] || child->child[1]) break;
+    it->first->child[it->second].reset();
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> LpmTrie::lookup(net::Ipv4Addr addr) const {
+  if (auto entry = lookup_entry(addr)) return entry->second;
+  return std::nullopt;
+}
+
+std::optional<std::pair<net::Prefix, std::uint32_t>> LpmTrie::lookup_entry(
+    net::Ipv4Addr addr) const {
+  const Node* node = root_.get();
+  std::optional<std::pair<net::Prefix, std::uint32_t>> best;
+  int depth = 0;
+  if (node->value) {
+    best = {net::Prefix::of(addr, 0), *node->value};
+  }
+  while (depth < 32) {
+    const int b = bit_at(addr.value, depth);
+    node = node->child[b].get();
+    if (!node) break;
+    ++depth;
+    if (node->value) {
+      best = {net::Prefix::of(addr, static_cast<std::uint8_t>(depth)),
+              *node->value};
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> LpmTrie::find_exact(const net::Prefix& prefix) const {
+  const Node* node = root_.get();
+  for (int i = 0; i < prefix.len; ++i) {
+    const int b = bit_at(prefix.addr.value, i);
+    node = node->child[b].get();
+    if (!node) return std::nullopt;
+  }
+  return node->value;
+}
+
+void LpmTrie::clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+std::vector<std::pair<net::Prefix, std::uint32_t>> LpmTrie::entries() const {
+  std::vector<std::pair<net::Prefix, std::uint32_t>> out;
+  out.reserve(size_);
+  struct Frame {
+    const Node* node;
+    std::uint32_t addr;
+    std::uint8_t depth;
+  };
+  std::vector<Frame> stack{{root_.get(), 0, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->value) {
+      out.emplace_back(net::Prefix::of(net::Ipv4Addr{f.addr}, f.depth),
+                       *f.node->value);
+    }
+    // Push child 1 first so child 0 is processed first (sorted output).
+    if (f.node->child[1]) {
+      stack.push_back({f.node->child[1].get(),
+                       f.addr | (1u << (31 - f.depth)),
+                       static_cast<std::uint8_t>(f.depth + 1)});
+    }
+    if (f.node->child[0]) {
+      stack.push_back({f.node->child[0].get(), f.addr,
+                       static_cast<std::uint8_t>(f.depth + 1)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.first.addr.value, a.first.len) <
+           std::tie(b.first.addr.value, b.first.len);
+  });
+  return out;
+}
+
+}  // namespace rloop::routing

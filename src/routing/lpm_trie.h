@@ -1,0 +1,56 @@
+// Longest-prefix-match forwarding table (binary trie).
+//
+// Values are opaque 32-bit handles; the simulator stores an encoded next-hop
+// (link id or local-delivery sentinel). The trie is the FIB of every
+// simulated router, so lookup is the hot path of the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace rloop::routing {
+
+class LpmTrie {
+ public:
+  LpmTrie();
+  ~LpmTrie();
+  LpmTrie(LpmTrie&&) noexcept;
+  LpmTrie& operator=(LpmTrie&&) noexcept;
+  LpmTrie(const LpmTrie&) = delete;
+  LpmTrie& operator=(const LpmTrie&) = delete;
+
+  // Inserts or overwrites the entry for `prefix`.
+  void insert(const net::Prefix& prefix, std::uint32_t value);
+
+  // Removes the entry; returns false when no exact entry existed.
+  bool remove(const net::Prefix& prefix);
+
+  // Longest-prefix-match lookup; nullopt when nothing matches.
+  std::optional<std::uint32_t> lookup(net::Ipv4Addr addr) const;
+
+  // Like lookup but also reports which prefix matched.
+  std::optional<std::pair<net::Prefix, std::uint32_t>> lookup_entry(
+      net::Ipv4Addr addr) const;
+
+  // Exact-match retrieval (no LPM), for protocol code updating routes.
+  std::optional<std::uint32_t> find_exact(const net::Prefix& prefix) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear();
+
+  // All (prefix, value) entries in lexicographic (addr, len) order.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> entries() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rloop::routing

@@ -1,0 +1,55 @@
+#include "routing/topology.h"
+
+#include <stdexcept>
+
+namespace rloop::routing {
+
+NodeId Topology::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.loopback = net::Ipv4Addr(10, 255, static_cast<std::uint8_t>(id / 256),
+                             static_cast<std::uint8_t>(id % 256));
+  nodes_.push_back(std::move(n));
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, net::TimeNs prop_delay,
+                          double bandwidth_bps, int queue_capacity_pkts,
+                          std::uint32_t igp_cost) {
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= nodes_.size() ||
+      static_cast<std::size_t>(b) >= nodes_.size()) {
+    throw std::invalid_argument("Topology::add_link: bad node id");
+  }
+  if (a == b) throw std::invalid_argument("Topology::add_link: self-loop");
+  if (!(bandwidth_bps > 0)) {
+    throw std::invalid_argument("Topology::add_link: bandwidth must be > 0");
+  }
+  if (queue_capacity_pkts < 1) {
+    throw std::invalid_argument("Topology::add_link: queue capacity < 1");
+  }
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.a = a;
+  l.b = b;
+  l.prop_delay = prop_delay;
+  l.bandwidth_bps = bandwidth_bps;
+  l.queue_capacity_pkts = queue_capacity_pkts;
+  l.igp_cost = igp_cost;
+  links_.push_back(l);
+  adjacency_[static_cast<std::size_t>(a)].push_back({b, l.id});
+  adjacency_[static_cast<std::size_t>(b)].push_back({a, l.id});
+  return l.id;
+}
+
+std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
+  if (a < 0 || static_cast<std::size_t>(a) >= nodes_.size()) return std::nullopt;
+  for (const auto& adj : adjacency_[static_cast<std::size_t>(a)]) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rloop::routing

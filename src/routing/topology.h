@@ -1,0 +1,77 @@
+// Network topology: routers (nodes) and point-to-point links with
+// propagation delay, bandwidth, queue capacity and IGP cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/time.h"
+
+namespace rloop::routing {
+
+using NodeId = int;
+using LinkId = int;
+
+struct Link {
+  LinkId id = -1;
+  NodeId a = -1;
+  NodeId b = -1;
+  net::TimeNs prop_delay = 0;
+  double bandwidth_bps = 0.0;
+  int queue_capacity_pkts = 0;
+  std::uint32_t igp_cost = 1;
+  bool up = true;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+};
+
+struct Node {
+  NodeId id = -1;
+  std::string name;
+  // Loopback address used as ICMP source and probe target identity.
+  net::Ipv4Addr loopback;
+};
+
+class Topology {
+ public:
+  // Adds a node; its loopback defaults to 10.255.<id/256>.<id%256>.
+  NodeId add_node(std::string name);
+
+  // Adds a bidirectional link. Throws std::invalid_argument for bad node ids,
+  // a == b, non-positive bandwidth, or queue capacity < 1.
+  LinkId add_link(NodeId a, NodeId b, net::TimeNs prop_delay,
+                  double bandwidth_bps, int queue_capacity_pkts,
+                  std::uint32_t igp_cost = 1);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  Link& link(LinkId id) { return links_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  // (neighbor, link) pairs for a node, in insertion order.
+  struct Adjacency {
+    NodeId neighbor;
+    LinkId link;
+  };
+  const std::vector<Adjacency>& neighbors(NodeId id) const {
+    return adjacency_.at(static_cast<std::size_t>(id));
+  }
+
+  std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+
+  void set_link_up(LinkId id, bool up) { link(id).up = up; }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace rloop::routing

@@ -1,0 +1,306 @@
+#include "scenarios/backbone.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rloop::scenarios {
+
+namespace {
+constexpr double kGbps = 1e9;
+constexpr double kOc12Bps = 622e6;
+
+net::TimeNs scaled(double ms, double scale) {
+  return static_cast<net::TimeNs>(ms * scale * 1e6);
+}
+}  // namespace
+
+BackboneSpec backbone_spec(int k) {
+  BackboneSpec spec;
+  switch (k) {
+    case 1:
+      // Long BGP convergence -> the long-duration loop tail of Figure 9.
+      spec = {.index = 1,
+              .name = "Backbone 1",
+              .seed = 101,
+              .epoch_unix_s = 1'005'224'400,  // 2001-11-08 13:00 GMT
+              .duration = 8 * net::kMinute,
+              .flows_per_second = 95.0,
+              .delay_scale = 1.0,
+              .igp_events = 9,
+              .bgp_events = 14,
+              .mrai_max = 30 * net::kSecond,
+              .dst_prefix_count = 300,
+              .src_prefix_count = 120,
+              .three_mode_ttl = false,
+              .bgp_batch_mean = 3.0,
+              .transit_chain = false};
+      break;
+    case 2:
+      // The busy link: several times the packet rate of the others.
+      spec = {.index = 2,
+              .name = "Backbone 2",
+              .seed = 202,
+              .epoch_unix_s = 1'005'224'400,
+              .duration = 8 * net::kMinute,
+              .flows_per_second = 240.0,
+              .delay_scale = 1.0,
+              .igp_events = 10,
+              .bgp_events = 16,
+              .mrai_max = 20 * net::kSecond,
+              .dst_prefix_count = 340,
+              .src_prefix_count = 140,
+              .three_mode_ttl = false,
+              .bgp_batch_mean = 3.0,
+              .transit_chain = false};
+      break;
+    case 3:
+      // Quiet long-haul link, almost all IGP events -> short loops only.
+      spec = {.index = 3,
+              .name = "Backbone 3",
+              .seed = 303,
+              .epoch_unix_s = 1'012'770'000,  // 2002-02-03 21:00 GMT
+              .duration = 8 * net::kMinute,
+              .flows_per_second = 45.0,
+              .delay_scale = 2.5,
+              .igp_events = 15,
+              .bgp_events = 14,
+              .mrai_max = 4 * net::kSecond,
+              .dst_prefix_count = 260,
+              .src_prefix_count = 100,
+              .three_mode_ttl = false,
+              .bgp_batch_mean = 2.0,
+              .bgp_outage_mean = 10 * net::kSecond,
+              .withdraw_rank_lo = 0.02,
+              .withdraw_rank_hi = 0.40,
+              .transit_chain = false};
+      break;
+    case 4:
+      // Three initial-TTL modes and frequent 3-hop loops through the
+      // X-Y-D0 triangle: Backbone 4's split TTL-delta distribution and
+      // three-step duration CDF.
+      spec = {.index = 4,
+              .name = "Backbone 4",
+              .seed = 404,
+              .epoch_unix_s = 1'012'770'000,
+              .duration = 8 * net::kMinute,
+              .flows_per_second = 80.0,
+              .delay_scale = 3.5,
+              .igp_events = 13,
+              .bgp_events = 28,
+              .mrai_max = 8 * net::kSecond,
+              .dst_prefix_count = 280,
+              .src_prefix_count = 110,
+              .three_mode_ttl = true,
+              .bgp_batch_mean = 2.0,
+              // Sessions stay down past the trace horizon: Backbone 4's
+              // loops are pure withdrawal transients (short), not merged
+              // withdraw/re-announce pairs.
+              .bgp_outage_mean = 20 * net::kMinute,
+              .withdraw_rank_lo = 0.02,
+              .withdraw_rank_hi = 0.42,
+              .transit_chain = true};
+      break;
+    default:
+      throw std::invalid_argument("backbone_spec: k must be 1..4");
+  }
+  return spec;
+}
+
+routing::Topology make_backbone_topology(const BackboneSpec& spec,
+                                         BackboneNodes& nodes) {
+  routing::Topology topo;
+  const double s = spec.delay_scale;
+
+  nodes.i0 = topo.add_node("I0");
+  nodes.i1 = topo.add_node("I1");
+  nodes.i2 = topo.add_node("I2");
+  nodes.a0 = topo.add_node("A0");
+  nodes.a1 = topo.add_node("A1");
+  nodes.a2 = topo.add_node("A2");
+  nodes.x = topo.add_node("X");
+  nodes.y = topo.add_node("Y");
+  nodes.d0 = topo.add_node("D0");
+  nodes.d1 = topo.add_node("D1");
+  nodes.d2 = topo.add_node("D2");
+  nodes.e1 = topo.add_node("E1");
+  nodes.e2 = topo.add_node("E2");
+  nodes.ea = topo.add_node("EA");
+
+  // Ingress edge.
+  topo.add_link(nodes.i0, nodes.a0, scaled(0.4, s), 1.0 * kGbps, 200, 1);
+  topo.add_link(nodes.i1, nodes.a1, scaled(0.4, s), 1.0 * kGbps, 200, 1);
+  topo.add_link(nodes.i2, nodes.a2, scaled(0.4, s), 1.0 * kGbps, 200, 1);
+
+  // Side-A aggregation mesh.
+  const auto a0_a1 =
+      topo.add_link(nodes.a0, nodes.a1, scaled(0.5, s), 2.5 * kGbps, 300, 2);
+  topo.add_link(nodes.a1, nodes.a2, scaled(0.5, s), 2.5 * kGbps, 300, 2);
+  const auto a0_a2 =
+      topo.add_link(nodes.a0, nodes.a2, scaled(0.9, s), 2.5 * kGbps, 300, 4);
+  topo.add_link(nodes.a0, nodes.x, scaled(0.4, s), 2.5 * kGbps, 300, 2);
+  const auto a1_x =
+      topo.add_link(nodes.a1, nodes.x, scaled(0.3, s), 2.5 * kGbps, 300, 1);
+  topo.add_link(nodes.a2, nodes.x, scaled(0.4, s), 2.5 * kGbps, 300, 2);
+
+  // The tapped inter-POP OC-12. With transit_chain, M sits between X and Y
+  // and an equal-cost direct X--Y link exists; link creation order fixes the
+  // equal-cost tie-breaks (lower link id wins) so that downstream traffic
+  // takes X->M->Y while the fresh upstream path takes the direct Y->X leg,
+  // which is what makes 3-hop loop cycles (X->M->Y->X) possible.
+  if (spec.transit_chain) {
+    nodes.m = topo.add_node("M");
+    nodes.tap_link =
+        topo.add_link(nodes.x, nodes.m, scaled(0.5, s), kOc12Bps, 400, 1);
+    topo.add_link(nodes.x, nodes.y, scaled(1.0, s), kOc12Bps, 400, 2);
+    topo.add_link(nodes.m, nodes.y, scaled(0.5, s), kOc12Bps, 400, 1);
+  } else {
+    nodes.tap_link =
+        topo.add_link(nodes.x, nodes.y, scaled(1.0, s), kOc12Bps, 400, 1);
+  }
+
+  // Side-B distribution.
+  const auto y_d0 = topo.add_link(nodes.y, nodes.d0, scaled(0.5, s),
+                                  2.5 * kGbps, 300, 2);
+  const auto y_d1 = topo.add_link(nodes.y, nodes.d1, scaled(0.5, s),
+                                  2.5 * kGbps, 300, 1);
+  const auto y_d2 =
+      topo.add_link(nodes.y, nodes.d2, scaled(0.6, s), 2.5 * kGbps, 300, 2);
+  const auto d0_d1 =
+      topo.add_link(nodes.d0, nodes.d1, scaled(0.4, s), 2.5 * kGbps, 300, 1);
+  const auto d1_d2 =
+      topo.add_link(nodes.d1, nodes.d2, scaled(0.4, s), 2.5 * kGbps, 300, 2);
+
+  // Side-B egresses and the side-A egress.
+  topo.add_link(nodes.d1, nodes.e1, scaled(0.3, s), 1.0 * kGbps, 200, 1);
+  topo.add_link(nodes.d2, nodes.e2, scaled(0.3, s), 1.0 * kGbps, 200, 1);
+  topo.add_link(nodes.a0, nodes.ea, scaled(0.3, s), 1.0 * kGbps, 200, 1);
+
+  // Bypasses: the X-Y-D0 triangle (3-hop loop cycle) and a far backup.
+  topo.add_link(nodes.x, nodes.d0, scaled(1.8, s), kOc12Bps, 300, 8);
+  topo.add_link(nodes.a2, nodes.d2, scaled(2.6, s), kOc12Bps, 300, 12);
+
+  // Only links whose loss keeps the graph 2-connected around the tap flap.
+  nodes.flap_candidates = {y_d0, y_d1, y_d2, d0_d1, d1_d2,
+                           a0_a1, a1_x, a0_a2};
+  return topo;
+}
+
+std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec) {
+  auto run = std::make_unique<BackboneRun>();
+  run->spec = spec;
+
+  routing::Topology topo = make_backbone_topology(spec, run->nodes);
+  const BackboneNodes& n = run->nodes;
+
+  sim::NetworkConfig net_cfg;
+  net_cfg.bgp.mrai_max = spec.mrai_max;
+  if (spec.transit_chain) {
+    // X and M are route-reflector clients: their BGP updates take an extra
+    // reflection hop. On a withdrawal, Y then typically converges (points up
+    // the direct X--Y leg) while X and M still point down — the 3-router
+    // X->M->Y->X loop phase — before the X<->M pair phase begins.
+    net_cfg.bgp.slow_nodes = {run->nodes.x, run->nodes.m};
+    net_cfg.bgp.slow_extra_mean = spec.mrai_max / 3;
+  }
+  run->network = std::make_unique<sim::Network>(std::move(topo), spec.seed,
+                                                net_cfg);
+  sim::Network& network = *run->network;
+
+  // Address pools. Setup randomness is separate from the network's
+  // control-plane randomness so topology/plan stay stable under config
+  // tweaks elsewhere.
+  util::Rng setup_rng(spec.seed * 7919 + 17);
+  trafficgen::PrefixPoolConfig dst_cfg;
+  dst_cfg.prefix_count = spec.dst_prefix_count;
+  run->destinations =
+      std::make_shared<trafficgen::PrefixPool>(dst_cfg, setup_rng);
+  trafficgen::PrefixPoolConfig src_cfg;
+  src_cfg.prefix_count = spec.src_prefix_count;
+  src_cfg.class_c_fraction = 0.3;
+  run->sources = std::make_shared<trafficgen::PrefixPool>(src_cfg, setup_rng);
+
+  // Attach destinations: 70 % side-B egress with side-A fallback (the
+  // loop-prone population), 20 % dual side-B egress, 10 % side-A only.
+  const auto& dst_prefixes = run->destinations->prefixes();
+  for (std::size_t i = 0; i < dst_prefixes.size(); ++i) {
+    const net::Prefix& p = dst_prefixes[i];
+    const std::size_t r = i % 10;
+    routing::ExternalRoute route;
+    route.prefix = p;
+    if (r < 7) {
+      route.egress_preference = {(i % 2) ? n.e1 : n.e2, n.ea};
+      // Withdrawal candidates: mid-popularity prefixes. They carry steady
+      // traffic (so loops produce replicas) without the very top ranks,
+      // whose looped volume would dwarf the trace; the heaviest prefixes in
+      // real backbones are also the least likely to flap.
+      const auto lo = static_cast<std::size_t>(
+          spec.withdraw_rank_lo * static_cast<double>(dst_prefixes.size()));
+      const auto hi = static_cast<std::size_t>(
+          spec.withdraw_rank_hi * static_cast<double>(dst_prefixes.size()));
+      if (i >= lo && i < hi) run->withdrawable.push_back(p);
+    } else if (r < 9) {
+      route.egress_preference = {(i % 2) ? n.e1 : n.e2, (i % 2) ? n.e2 : n.e1};
+    } else {
+      route.egress_preference = {n.ea};
+    }
+    network.attach_external_route(std::move(route));
+  }
+
+  // Multicast range exits side B (traffic-mix realism only).
+  network.attach_external_route(
+      {net::Prefix::of(net::Ipv4Addr(224, 0, 0, 0), 4), {n.e2}});
+
+  // Source prefixes live behind the ingress routers, so ICMP time-exceeded
+  // generated inside the network can route back to the offending sources.
+  const auto& src_prefixes = run->sources->prefixes();
+  const routing::NodeId ingress_nodes[3] = {n.i0, n.i1, n.i2};
+  for (std::size_t i = 0; i < src_prefixes.size(); ++i) {
+    network.attach_external_route({src_prefixes[i], {ingress_nodes[i % 3]}});
+  }
+
+  network.install_all_routes();
+
+  run->tap_index = network.add_tap(n.tap_link, n.x, spec.name,
+                                   spec.epoch_unix_s);
+
+  // Workload.
+  trafficgen::WorkloadConfig wl_cfg;
+  wl_cfg.start = 0;
+  wl_cfg.duration = spec.duration;
+  wl_cfg.flows_per_second = spec.flows_per_second;
+  run->workload = std::make_unique<trafficgen::Workload>(
+      wl_cfg, run->destinations, run->sources,
+      spec.three_mode_ttl ? trafficgen::TtlModel::three_modes()
+                          : trafficgen::TtlModel::standard(),
+      std::vector<routing::NodeId>{n.i0, n.i1, n.i2});
+  run->workload->install(network, spec.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Failure plan.
+  sim::FailurePlanConfig plan_cfg;
+  plan_cfg.candidate_links = n.flap_candidates;
+  plan_cfg.link_event_count = spec.igp_events;
+  plan_cfg.outage_mean = 6 * net::kSecond;
+  plan_cfg.candidate_prefixes = run->withdrawable;
+  plan_cfg.bgp_event_count = spec.bgp_events;
+  plan_cfg.bgp_outage_mean = spec.bgp_outage_mean;
+  plan_cfg.bgp_batch_mean = spec.bgp_batch_mean;
+  plan_cfg.start = std::min<net::TimeNs>(5 * net::kSecond, spec.duration / 4);
+  plan_cfg.horizon = std::max<net::TimeNs>(spec.duration - 30 * net::kSecond,
+                                           plan_cfg.start + net::kSecond);
+  run->plan = sim::make_failure_plan(plan_cfg, setup_rng);
+  run->plan.apply(network);
+
+  return run;
+}
+
+void execute(BackboneRun& run) {
+  run.network->run_until(run.spec.duration + 10 * net::kSecond);
+}
+
+std::unique_ptr<BackboneRun> run_backbone(int k) {
+  auto run = build_backbone(backbone_spec(k));
+  execute(*run);
+  return run;
+}
+
+}  // namespace rloop::scenarios

@@ -1,0 +1,181 @@
+#include "scenarios/random_backbone.h"
+
+#include <algorithm>
+#include <string>
+
+namespace rloop::scenarios {
+
+namespace {
+constexpr double kGbps = 1e9;
+
+net::TimeNs random_delay(util::Rng& rng) {
+  return net::from_millis(rng.uniform_double(0.2, 2.5));
+}
+}  // namespace
+
+std::unique_ptr<BackboneRun> build_random_backbone(
+    const RandomBackboneConfig& config) {
+  util::Rng rng(config.seed * 1099511628211ULL + 3);
+
+  auto run = std::make_unique<BackboneRun>();
+  run->spec = BackboneSpec{};
+  run->spec.index = 0;
+  run->spec.name = "random-" + std::to_string(config.seed);
+  run->spec.seed = config.seed;
+  run->spec.duration = config.duration;
+  run->spec.flows_per_second = config.flows_per_second;
+
+  const int a_width = config.side_a_width
+                          ? config.side_a_width
+                          : static_cast<int>(rng.uniform_int(2, 4));
+  const int b_width = config.side_b_width
+                          ? config.side_b_width
+                          : static_cast<int>(rng.uniform_int(2, 4));
+
+  routing::Topology topo;
+  BackboneNodes& n = run->nodes;
+
+  // Side A: one ingress leaf per aggregation router.
+  std::vector<routing::NodeId> aggs, ingresses;
+  for (int i = 0; i < a_width; ++i) {
+    aggs.push_back(topo.add_node("A" + std::to_string(i)));
+    ingresses.push_back(topo.add_node("I" + std::to_string(i)));
+    topo.add_link(ingresses.back(), aggs.back(), random_delay(rng),
+                  1.0 * kGbps, 200, 1);
+  }
+  // Aggregation chain plus random chords.
+  for (int i = 0; i + 1 < a_width; ++i) {
+    topo.add_link(aggs[static_cast<std::size_t>(i)],
+                  aggs[static_cast<std::size_t>(i + 1)], random_delay(rng),
+                  2.5 * kGbps, 300,
+                  static_cast<std::uint32_t>(rng.uniform_int(2, 4)));
+  }
+  n.x = topo.add_node("X");
+  n.y = topo.add_node("Y");
+  for (const auto agg : aggs) {
+    topo.add_link(agg, n.x, random_delay(rng), 2.5 * kGbps, 300,
+                  static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+  }
+  // The tapped artery.
+  n.tap_link = topo.add_link(n.x, n.y, random_delay(rng), 622e6, 400, 1);
+  n.m = -1;
+
+  // Side B distribution + egress leaves.
+  std::vector<routing::NodeId> dists, egresses;
+  for (int i = 0; i < b_width; ++i) {
+    dists.push_back(topo.add_node("D" + std::to_string(i)));
+    topo.add_link(n.y, dists.back(), random_delay(rng), 2.5 * kGbps, 300,
+                  static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+    egresses.push_back(topo.add_node("E" + std::to_string(i)));
+    topo.add_link(dists.back(), egresses.back(), random_delay(rng),
+                  1.0 * kGbps, 200, 1);
+  }
+  for (int i = 0; i + 1 < b_width; ++i) {
+    topo.add_link(dists[static_cast<std::size_t>(i)],
+                  dists[static_cast<std::size_t>(i + 1)], random_delay(rng),
+                  2.5 * kGbps, 300,
+                  static_cast<std::uint32_t>(rng.uniform_int(1, 3)));
+  }
+  // Side-A egress and a random expensive bypass keeping 2-connectivity.
+  n.ea = topo.add_node("EA");
+  topo.add_link(aggs.front(), n.ea, random_delay(rng), 1.0 * kGbps, 200, 1);
+  topo.add_link(aggs.back(),
+                dists[static_cast<std::size_t>(
+                    rng.uniform_int(0, b_width - 1))],
+                random_delay(rng), 622e6, 300,
+                static_cast<std::uint32_t>(rng.uniform_int(8, 14)));
+
+  // Fill the remaining named fields for callers that peek at them.
+  n.i0 = ingresses[0];
+  n.i1 = ingresses[std::min<std::size_t>(1, ingresses.size() - 1)];
+  n.i2 = ingresses.back();
+  n.a0 = aggs[0];
+  n.a1 = aggs[std::min<std::size_t>(1, aggs.size() - 1)];
+  n.a2 = aggs.back();
+  n.d0 = dists[0];
+  n.d1 = dists[std::min<std::size_t>(1, dists.size() - 1)];
+  n.d2 = dists.back();
+  n.e1 = egresses.front();
+  n.e2 = egresses.back();
+
+  // Flappable links: inter-distribution and Y-distribution links (never the
+  // artery, never a leaf's only link).
+  for (const auto& link : topo.links()) {
+    if (link.id == n.tap_link) continue;
+    const bool leaf_link =
+        topo.neighbors(link.a).size() == 1 || topo.neighbors(link.b).size() == 1;
+    if (!leaf_link && rng.bernoulli(0.6)) {
+      n.flap_candidates.push_back(link.id);
+    }
+  }
+
+  sim::NetworkConfig net_cfg;
+  net_cfg.bgp.mrai_max = config.mrai_max;
+  run->network =
+      std::make_unique<sim::Network>(std::move(topo), config.seed, net_cfg);
+  sim::Network& network = *run->network;
+
+  trafficgen::PrefixPoolConfig dst_cfg;
+  dst_cfg.prefix_count = config.dst_prefix_count;
+  run->destinations = std::make_shared<trafficgen::PrefixPool>(dst_cfg, rng);
+  trafficgen::PrefixPoolConfig src_cfg;
+  src_cfg.prefix_count = config.src_prefix_count;
+  src_cfg.class_c_fraction = 0.3;
+  run->sources = std::make_shared<trafficgen::PrefixPool>(src_cfg, rng);
+
+  const auto& dst_prefixes = run->destinations->prefixes();
+  for (std::size_t i = 0; i < dst_prefixes.size(); ++i) {
+    routing::ExternalRoute route;
+    route.prefix = dst_prefixes[i];
+    const auto egress = egresses[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(egresses.size()) - 1))];
+    if (i % 10 < 7) {
+      route.egress_preference = {egress, n.ea};
+      if (i >= dst_prefixes.size() / 8 && i < dst_prefixes.size() / 2) {
+        run->withdrawable.push_back(route.prefix);
+      }
+    } else if (i % 10 < 9 && egresses.size() > 1) {
+      const auto other = egresses[(static_cast<std::size_t>(egress) + 1) %
+                                  egresses.size()];
+      route.egress_preference = {egress, other};
+    } else {
+      route.egress_preference = {n.ea};
+    }
+    network.attach_external_route(std::move(route));
+  }
+  network.attach_external_route(
+      {net::Prefix::of(net::Ipv4Addr(224, 0, 0, 0), 4), {egresses.front()}});
+  const auto& src_prefixes = run->sources->prefixes();
+  for (std::size_t i = 0; i < src_prefixes.size(); ++i) {
+    network.attach_external_route(
+        {src_prefixes[i], {ingresses[i % ingresses.size()]}});
+  }
+  network.install_all_routes();
+
+  run->tap_index =
+      network.add_tap(n.tap_link, n.x, run->spec.name, 1'000'000'000);
+
+  trafficgen::WorkloadConfig wl_cfg;
+  wl_cfg.duration = config.duration;
+  wl_cfg.flows_per_second = config.flows_per_second;
+  run->workload = std::make_unique<trafficgen::Workload>(
+      wl_cfg, run->destinations, run->sources,
+      trafficgen::TtlModel::standard(), ingresses);
+  run->workload->install(network, config.seed ^ 0xc2b2ae3d27d4eb4fULL);
+
+  sim::FailurePlanConfig plan_cfg;
+  plan_cfg.candidate_links = n.flap_candidates;
+  plan_cfg.link_event_count =
+      n.flap_candidates.empty() ? 0 : config.igp_events;
+  plan_cfg.candidate_prefixes = run->withdrawable;
+  plan_cfg.bgp_event_count = config.bgp_events;
+  plan_cfg.bgp_batch_mean = 2.0;
+  plan_cfg.start = 2 * net::kSecond;
+  plan_cfg.horizon = config.duration - 10 * net::kSecond;
+  run->plan = sim::make_failure_plan(plan_cfg, rng);
+  run->plan.apply(network);
+
+  return run;
+}
+
+}  // namespace rloop::scenarios

@@ -1,0 +1,40 @@
+// Randomized backbone scenarios for robustness testing.
+//
+// The four fixed scenarios reproduce the paper's traces; this generator
+// answers a different question: does the detector's zero-false-positive
+// property survive on topologies it was never tuned for? Each seed yields a
+// different two-sided network around a tapped artery — random aggregation
+// and distribution widths, random extra chords and costs, random delays,
+// random event schedules — while preserving the structural invariant that
+// makes a single-link tap meaningful (ingress on one side, most egresses on
+// the other, one cheap artery).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "scenarios/backbone.h"
+
+namespace rloop::scenarios {
+
+struct RandomBackboneConfig {
+  std::uint64_t seed = 1;
+  int side_a_width = 0;  // 0 = draw 2..4
+  int side_b_width = 0;  // 0 = draw 2..4
+  net::TimeNs duration = 90 * net::kSecond;
+  double flows_per_second = 70.0;
+  std::size_t dst_prefix_count = 140;
+  std::size_t src_prefix_count = 50;
+  int igp_events = 2;
+  int bgp_events = 6;
+  net::TimeNs mrai_max = 10 * net::kSecond;
+};
+
+// Builds a fully-wired random scenario (workload + failure plan installed).
+// The returned run uses the BackboneRun container; nodes.x/nodes.y are the
+// tapped artery endpoints and the remaining node fields name the first
+// element of each randomized group.
+std::unique_ptr<BackboneRun> build_random_backbone(
+    const RandomBackboneConfig& config);
+
+}  // namespace rloop::scenarios

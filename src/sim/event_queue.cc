@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace rloop::sim {
+
+void EventQueue::schedule(net::TimeNs t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push({t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::pop_and_run() {
+  // Move the callback out before popping so it can schedule new events.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ev.fn();
+}
+
+void EventQueue::run_until(net::TimeNs t) {
+  while (!heap_.empty() && heap_.top().time <= t) {
+    pop_and_run();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all() {
+  while (!heap_.empty()) {
+    pop_and_run();
+  }
+}
+
+}  // namespace rloop::sim

@@ -1,0 +1,58 @@
+// Deterministic discrete-event scheduler.
+//
+// Events at equal timestamps run in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes every simulation run
+// bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/time.h"
+
+namespace rloop::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  net::TimeNs now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t`. Throws std::invalid_argument when
+  // t is in the past (t < now()).
+  void schedule(net::TimeNs t, Callback fn);
+  void schedule_in(net::TimeNs delay, Callback fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  // Runs events with time <= t; afterwards now() == t.
+  void run_until(net::TimeNs t);
+  // Runs until the queue drains.
+  void run_all();
+
+ private:
+  struct Event {
+    net::TimeNs time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  net::TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rloop::sim

@@ -1,0 +1,87 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rloop::sim {
+
+void FailurePlan::apply(Network& network) const {
+  for (const auto& ev : link_events) {
+    network.fail_link(ev.link, ev.fail_at);
+    if (ev.restore_at >= 0) {
+      network.restore_link(ev.link, ev.restore_at);
+    }
+  }
+  for (const auto& ev : bgp_events) {
+    network.withdraw_best_egress(ev.prefix, ev.withdraw_at);
+    if (ev.reannounce_at >= 0) {
+      network.reannounce_prefix(ev.prefix, ev.reannounce_at);
+    }
+  }
+}
+
+FailurePlan make_failure_plan(const FailurePlanConfig& config, util::Rng& rng) {
+  if (config.link_event_count > 0 && config.candidate_links.empty()) {
+    throw std::invalid_argument("make_failure_plan: no candidate links");
+  }
+  if (config.bgp_event_count > 0 && config.candidate_prefixes.empty()) {
+    throw std::invalid_argument("make_failure_plan: no candidate prefixes");
+  }
+  if (config.horizon <= config.start) {
+    throw std::invalid_argument("make_failure_plan: empty time window");
+  }
+
+  FailurePlan plan;
+  for (int i = 0; i < config.link_event_count; ++i) {
+    LinkEvent ev;
+    ev.link = config.candidate_links[static_cast<std::size_t>(
+        rng.uniform_int(0,
+                        static_cast<std::int64_t>(config.candidate_links.size()) -
+                            1))];
+    ev.fail_at = rng.uniform_int(config.start, config.horizon);
+    const auto outage = static_cast<net::TimeNs>(
+        rng.exponential(static_cast<double>(config.outage_mean)));
+    ev.restore_at = ev.fail_at + std::max<net::TimeNs>(outage, net::kSecond);
+    plan.link_events.push_back(ev);
+  }
+  for (int i = 0; i < config.bgp_event_count; ++i) {
+    const net::TimeNs withdraw_at = rng.uniform_int(config.start, config.horizon);
+    const auto outage = static_cast<net::TimeNs>(
+        rng.exponential(static_cast<double>(config.bgp_outage_mean)));
+    const net::TimeNs reannounce_at =
+        withdraw_at + std::max<net::TimeNs>(outage, 5 * net::kSecond);
+
+    // Session-failure semantics: one event withdraws a batch of prefixes at
+    // the same instant (they re-announce together too).
+    int batch = 1;
+    if (config.bgp_batch_mean > 1.0) {
+      batch = 1 + static_cast<int>(rng.exponential(config.bgp_batch_mean - 1.0));
+      batch = std::min<int>(
+          batch, static_cast<int>(config.candidate_prefixes.size()));
+    }
+    for (int b = 0; b < batch; ++b) {
+      BgpEvent ev;
+      ev.prefix = config.candidate_prefixes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(
+                                 config.candidate_prefixes.size()) -
+                                 1))];
+      ev.withdraw_at = withdraw_at;
+      ev.reannounce_at = reannounce_at;
+      plan.bgp_events.push_back(ev);
+    }
+  }
+
+  // Sort for readability in test output; application order is irrelevant
+  // because every event is scheduled at its own absolute time.
+  std::sort(plan.link_events.begin(), plan.link_events.end(),
+            [](const LinkEvent& a, const LinkEvent& b) {
+              return a.fail_at < b.fail_at;
+            });
+  std::sort(plan.bgp_events.begin(), plan.bgp_events.end(),
+            [](const BgpEvent& a, const BgpEvent& b) {
+              return a.withdraw_at < b.withdraw_at;
+            });
+  return plan;
+}
+
+}  // namespace rloop::sim

@@ -1,0 +1,64 @@
+// Failure plans: the schedule of control-plane events a scenario replays.
+//
+// A plan is data (so tests and benches can assert against it) and is applied
+// to a Network before the simulation runs. Random plans model the paper's
+// environment: sporadic intra-domain link flaps (IGP loops, sub-10 s) plus
+// occasional E-BGP withdrawals (EGP loops, possibly much longer).
+#pragma once
+
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/time.h"
+#include "routing/topology.h"
+#include "sim/network.h"
+#include "util/random.h"
+
+namespace rloop::sim {
+
+struct LinkEvent {
+  routing::LinkId link = -1;
+  net::TimeNs fail_at = 0;
+  // < 0 means the link never comes back within the scenario.
+  net::TimeNs restore_at = -1;
+};
+
+struct BgpEvent {
+  net::Prefix prefix;
+  net::TimeNs withdraw_at = 0;
+  // < 0 means the best egress never re-announces within the scenario.
+  net::TimeNs reannounce_at = -1;
+};
+
+struct FailurePlan {
+  std::vector<LinkEvent> link_events;
+  std::vector<BgpEvent> bgp_events;
+
+  void apply(Network& network) const;
+};
+
+struct FailurePlanConfig {
+  // Links eligible to flap and how many flaps to schedule in [start, horizon].
+  std::vector<routing::LinkId> candidate_links;
+  int link_event_count = 0;
+  net::TimeNs outage_mean = 5 * net::kSecond;
+
+  // Prefixes eligible for withdrawal events.
+  std::vector<net::Prefix> candidate_prefixes;
+  int bgp_event_count = 0;
+  net::TimeNs bgp_outage_mean = 30 * net::kSecond;
+  // Mean prefixes withdrawn per event. An E-BGP session failure withdraws
+  // every prefix advertised over it at once (paper §II-A), so one event can
+  // produce simultaneous loops across many prefixes.
+  double bgp_batch_mean = 1.0;
+
+  net::TimeNs start = net::kSecond;
+  net::TimeNs horizon = 60 * net::kSecond;
+};
+
+// Draws event times uniformly in [start, horizon] and outage durations
+// exponentially; deterministic given the Rng state. Throws
+// std::invalid_argument when events are requested but candidates are empty.
+FailurePlan make_failure_plan(const FailurePlanConfig& config, util::Rng& rng);
+
+}  // namespace rloop::sim

@@ -1,0 +1,34 @@
+#include "sim/link.h"
+
+namespace rloop::sim {
+
+net::TimeNs SimLink::serialization_delay(std::uint32_t wire_len) const {
+  const double seconds =
+      static_cast<double>(wire_len) * 8.0 / spec_.bandwidth_bps;
+  const auto ns = static_cast<net::TimeNs>(seconds * 1e9);
+  return ns > 0 ? ns : 1;  // at least one ns so time strictly advances
+}
+
+SimLink::TxResult SimLink::transmit(net::TimeNs now, std::uint32_t wire_len,
+                                    routing::NodeId from, TxTiming& timing) {
+  if (!up_) return TxResult::link_down;
+
+  const int dir = (from == spec_.a) ? 0 : 1;
+  const net::TimeNs ser = serialization_delay(wire_len);
+  net::TimeNs& busy_until = busy_until_[dir];
+
+  const net::TimeNs backlog = busy_until > now ? busy_until - now : 0;
+  // Approximate packet count waiting as backlog / this packet's ser time.
+  if (backlog > ser * spec_.queue_capacity_pkts) {
+    ++queue_drops_;
+    return TxResult::queue_full;
+  }
+
+  const net::TimeNs start = now + backlog;
+  busy_until = start + ser;
+  timing.depart = busy_until;
+  timing.arrive = busy_until + spec_.prop_delay;
+  return TxResult::ok;
+}
+
+}  // namespace rloop::sim

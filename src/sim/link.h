@@ -1,0 +1,49 @@
+// Transmission model for a point-to-point link.
+//
+// Each direction has an output queue modelled by a busy-until horizon:
+// serialization delay is wire_len / bandwidth, queueing delay is however far
+// the horizon is ahead of now, and the drop-tail queue overflows when more
+// than `queue_capacity_pkts` serializations are already pending. This keeps
+// per-packet cost O(1) while producing realistic queueing delay and loss.
+#pragma once
+
+#include <cstdint>
+
+#include "net/time.h"
+#include "routing/topology.h"
+
+namespace rloop::sim {
+
+class SimLink {
+ public:
+  explicit SimLink(const routing::Link& spec) : spec_(spec) {}
+
+  enum class TxResult { ok, link_down, queue_full };
+
+  struct TxTiming {
+    net::TimeNs depart = 0;  // serialization complete; tap timestamp
+    net::TimeNs arrive = 0;  // depart + propagation delay
+  };
+
+  // Attempts to enqueue a packet of `wire_len` bytes leaving `from` at `now`.
+  TxResult transmit(net::TimeNs now, std::uint32_t wire_len,
+                    routing::NodeId from, TxTiming& timing);
+
+  const routing::Link& spec() const { return spec_; }
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  // Serialization time for `wire_len` bytes on this link.
+  net::TimeNs serialization_delay(std::uint32_t wire_len) const;
+
+  std::uint64_t queue_drops() const { return queue_drops_; }
+
+ private:
+  routing::Link spec_;
+  bool up_ = true;
+  // Index 0: a -> b, index 1: b -> a.
+  net::TimeNs busy_until_[2] = {0, 0};
+  std::uint64_t queue_drops_ = 0;
+};
+
+}  // namespace rloop::sim

@@ -1,0 +1,399 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/checksum.h"
+
+namespace rloop::sim {
+
+namespace {
+// Bound on stored ground-truth crossings; beyond this they are only counted.
+constexpr std::size_t kMaxStoredCrossings = 4'000'000;
+}  // namespace
+
+Network::Network(routing::Topology topo, std::uint64_t seed, NetworkConfig cfg)
+    : topo_(std::move(topo)), cfg_(cfg), rng_(seed) {
+  routers_.reserve(topo_.node_count());
+  for (const auto& node : topo_.nodes()) {
+    routers_.emplace_back(node.id, node.loopback);
+  }
+  links_.reserve(topo_.link_count());
+  for (const auto& link : topo_.links()) {
+    links_.emplace_back(link);
+  }
+}
+
+void Network::attach_external_route(routing::ExternalRoute route) {
+  if (route.egress_preference.empty()) {
+    throw std::invalid_argument("attach_external_route: no egress");
+  }
+  ExternalState state;
+  state.route = std::move(route);
+  state.chosen.assign(topo_.node_count(), 0);
+  external_.insert_or_assign(state.route.prefix, std::move(state));
+}
+
+std::vector<std::pair<net::Prefix, std::uint32_t>> Network::compute_routes(
+    routing::NodeId node) const {
+  const auto spf = routing::compute_spf(topo_, node);
+  std::vector<std::pair<net::Prefix, std::uint32_t>> routes;
+  routes.reserve(topo_.node_count() + external_.size());
+
+  for (const auto& other : topo_.nodes()) {
+    if (other.id == node) {
+      routes.emplace_back(net::Prefix::of(other.loopback, 32), kFibLocal);
+      continue;
+    }
+    if (spf.reachable(other.id)) {
+      routes.emplace_back(
+          net::Prefix::of(other.loopback, 32),
+          static_cast<std::uint32_t>(
+              spf.next_hop_link[static_cast<std::size_t>(other.id)]));
+    }
+  }
+
+  for (const auto& [prefix, state] : external_) {
+    const int choice = state.chosen[static_cast<std::size_t>(node)];
+    const routing::NodeId egress = state.route.egress_preference.at(
+        static_cast<std::size_t>(choice));
+    if (egress == node) {
+      routes.emplace_back(prefix, kFibLocal);
+    } else if (spf.reachable(egress)) {
+      routes.emplace_back(
+          prefix, static_cast<std::uint32_t>(
+                      spf.next_hop_link[static_cast<std::size_t>(egress)]));
+    }
+    // Unreachable egress: no route installed; packets get no_route_drop.
+  }
+  return routes;
+}
+
+void Network::refresh_node_fib(routing::NodeId node) {
+  auto routes = compute_routes(node);
+  // Misconfiguration overrides survive reconvergence: the operator's bogus
+  // static route beats whatever the protocols compute.
+  for (const auto& [key, link] : misconfigurations_) {
+    if (key.first != node) continue;
+    bool replaced = false;
+    for (auto& [prefix, value] : routes) {
+      if (prefix == key.second) {
+        value = static_cast<std::uint32_t>(link);
+        replaced = true;
+      }
+    }
+    if (!replaced) {
+      routes.emplace_back(key.second, static_cast<std::uint32_t>(link));
+    }
+  }
+  routers_[static_cast<std::size_t>(node)].install_routes(routes);
+}
+
+void Network::install_all_routes() {
+  for (const auto& node : topo_.nodes()) {
+    refresh_node_fib(node.id);
+  }
+}
+
+std::size_t Network::add_tap(routing::LinkId link, routing::NodeId from_node,
+                             std::string trace_name,
+                             std::int64_t epoch_unix_s) {
+  const auto& spec = topo_.link(link);
+  if (from_node != spec.a && from_node != spec.b) {
+    throw std::invalid_argument("add_tap: from_node not an endpoint");
+  }
+  taps_.push_back(
+      {link, from_node, net::Trace(std::move(trace_name), epoch_unix_s)});
+  return taps_.size() - 1;
+}
+
+const net::Trace& Network::tap_trace(std::size_t tap_index) const {
+  return taps_.at(tap_index).trace;
+}
+
+std::uint64_t Network::inject(net::ParsedPacket pkt, std::uint32_t wire_len,
+                              routing::NodeId ingress, net::TimeNs t) {
+  const std::uint64_t id = fates_.size();
+  PacketFate fate;
+  fate.injected = t;
+  fates_.push_back(fate);
+  ++stats_.injected;
+
+  queue_.schedule(t, [this, pkt = std::move(pkt), wire_len, ingress, id]() {
+    SimPacket p;
+    p.hdr = pkt;
+    p.wire_len = wire_len;
+    p.injected_at = queue_.now();
+    p.id = id;
+    p.visited.reserve(8);
+    arrive(std::move(p), ingress);
+  });
+  return id;
+}
+
+void Network::schedule(net::TimeNs t, std::function<void()> fn) {
+  queue_.schedule(t, std::move(fn));
+}
+
+void Network::fail_link(routing::LinkId link, net::TimeNs t) {
+  queue_.schedule(t, [this, link]() {
+    topo_.set_link_up(link, false);
+    links_[static_cast<std::size_t>(link)].set_up(false);
+    control_log_.push_back(
+        {ControlEvent::Kind::link_down, queue_.now(), link, {}, -1});
+    const auto schedule =
+        routing::link_event_schedule(topo_, link, queue_.now(), cfg_.igp, rng_);
+    for (const auto& update : schedule) {
+      queue_.schedule(update.time, [this, node = update.node]() {
+        refresh_node_fib(node);
+        control_log_.push_back(
+            {ControlEvent::Kind::fib_update, queue_.now(), -1, {}, node});
+      });
+    }
+  });
+}
+
+void Network::restore_link(routing::LinkId link, net::TimeNs t) {
+  queue_.schedule(t, [this, link]() {
+    topo_.set_link_up(link, true);
+    links_[static_cast<std::size_t>(link)].set_up(true);
+    control_log_.push_back(
+        {ControlEvent::Kind::link_up, queue_.now(), link, {}, -1});
+    const auto schedule =
+        routing::link_event_schedule(topo_, link, queue_.now(), cfg_.igp, rng_);
+    for (const auto& update : schedule) {
+      queue_.schedule(update.time, [this, node = update.node]() {
+        refresh_node_fib(node);
+        control_log_.push_back(
+            {ControlEvent::Kind::fib_update, queue_.now(), -1, {}, node});
+      });
+    }
+  });
+}
+
+void Network::withdraw_best_egress(const net::Prefix& prefix, net::TimeNs t) {
+  queue_.schedule(t, [this, prefix]() {
+    auto it = external_.find(prefix);
+    if (it == external_.end()) {
+      throw std::invalid_argument("withdraw_best_egress: unknown prefix " +
+                                  prefix.to_string());
+    }
+    ExternalState& state = it->second;
+    if (state.route.egress_preference.size() < 2) {
+      ++stats_.withdraw_without_fallback;
+      return;
+    }
+    const routing::NodeId origin = state.route.egress_preference[0];
+    control_log_.push_back(
+        {ControlEvent::Kind::bgp_withdraw, queue_.now(), -1, prefix, origin});
+    const auto schedule =
+        routing::bgp_event_schedule(topo_, origin, queue_.now(), cfg_.bgp, rng_);
+    for (const auto& update : schedule) {
+      queue_.schedule(update.time, [this, prefix, node = update.node]() {
+        auto st = external_.find(prefix);
+        if (st == external_.end()) return;
+        st->second.chosen[static_cast<std::size_t>(node)] = 1;
+        control_log_.push_back({ControlEvent::Kind::bgp_fib_update,
+                                queue_.now(), -1, prefix, node});
+        const routing::NodeId egress = st->second.route.egress_preference[1];
+        auto& fib = routers_[static_cast<std::size_t>(node)].fib();
+        if (egress == node) {
+          fib.insert(prefix, kFibLocal);
+          return;
+        }
+        const auto spf = routing::compute_spf(topo_, node);
+        if (spf.reachable(egress)) {
+          fib.insert(prefix,
+                     static_cast<std::uint32_t>(spf.next_hop_link[
+                         static_cast<std::size_t>(egress)]));
+        } else {
+          fib.remove(prefix);
+        }
+      });
+    }
+  });
+}
+
+void Network::reannounce_prefix(const net::Prefix& prefix, net::TimeNs t) {
+  queue_.schedule(t, [this, prefix]() {
+    auto it = external_.find(prefix);
+    if (it == external_.end()) return;
+    ExternalState& state = it->second;
+    const routing::NodeId origin = state.route.egress_preference[0];
+    control_log_.push_back(
+        {ControlEvent::Kind::bgp_reannounce, queue_.now(), -1, prefix, origin});
+    const auto schedule =
+        routing::bgp_event_schedule(topo_, origin, queue_.now(), cfg_.bgp, rng_);
+    for (const auto& update : schedule) {
+      queue_.schedule(update.time, [this, prefix, node = update.node]() {
+        auto st = external_.find(prefix);
+        if (st == external_.end()) return;
+        st->second.chosen[static_cast<std::size_t>(node)] = 0;
+        control_log_.push_back({ControlEvent::Kind::bgp_fib_update,
+                                queue_.now(), -1, prefix, node});
+        const routing::NodeId egress = st->second.route.egress_preference[0];
+        auto& fib = routers_[static_cast<std::size_t>(node)].fib();
+        if (egress == node) {
+          fib.insert(prefix, kFibLocal);
+          return;
+        }
+        const auto spf = routing::compute_spf(topo_, node);
+        if (spf.reachable(egress)) {
+          fib.insert(prefix,
+                     static_cast<std::uint32_t>(spf.next_hop_link[
+                         static_cast<std::size_t>(egress)]));
+        } else {
+          fib.remove(prefix);
+        }
+      });
+    }
+  });
+}
+
+void Network::inject_misconfiguration(const net::Prefix& prefix,
+                                      routing::NodeId node,
+                                      routing::LinkId wrong_link,
+                                      net::TimeNs t) {
+  queue_.schedule(t, [this, prefix, node, wrong_link]() {
+    const auto& spec = topo_.link(wrong_link);
+    if (spec.a != node && spec.b != node) {
+      throw std::invalid_argument(
+          "inject_misconfiguration: link not attached to node");
+    }
+    misconfigurations_[{node, prefix}] = wrong_link;
+    refresh_node_fib(node);
+    control_log_.push_back(
+        {ControlEvent::Kind::misconfig_set, queue_.now(), wrong_link, prefix,
+         node});
+  });
+}
+
+void Network::clear_misconfiguration(const net::Prefix& prefix,
+                                     routing::NodeId node, net::TimeNs t) {
+  queue_.schedule(t, [this, prefix, node]() {
+    misconfigurations_.erase({node, prefix});
+    refresh_node_fib(node);
+    control_log_.push_back(
+        {ControlEvent::Kind::misconfig_clear, queue_.now(), -1, prefix, node});
+  });
+}
+
+void Network::finish_fate(std::uint64_t id, FateKind kind,
+                          std::uint16_t crossings, routing::NodeId at) {
+  if (!cfg_.record_fates) return;
+  PacketFate& fate = fates_.at(id);
+  fate.kind = kind;
+  fate.ended = queue_.now();
+  fate.loop_crossings = crossings;
+  fate.final_node = at;
+}
+
+void Network::deliver(SimPacket&& p, routing::NodeId at) {
+  ++stats_.delivered;
+  finish_fate(p.id, FateKind::delivered, p.loop_crossings, at);
+}
+
+void Network::drop(SimPacket&& p, FateKind kind, routing::NodeId at) {
+  switch (kind) {
+    case FateKind::queue_drop: ++stats_.queue_drops; break;
+    case FateKind::link_down_drop: ++stats_.link_down_drops; break;
+    case FateKind::no_route_drop: ++stats_.no_route_drops; break;
+    case FateKind::ttl_expired: ++stats_.ttl_expired; break;
+    default: break;
+  }
+  finish_fate(p.id, kind, p.loop_crossings, at);
+}
+
+void Network::expire_ttl(SimPacket&& p, routing::NodeId at) {
+  SimRouter& router = routers_[static_cast<std::size_t>(at)];
+  const net::Ipv4Addr original_src = p.hdr.ip.src;
+  const bool was_icmp =
+      p.hdr.ip.protocol == static_cast<std::uint8_t>(net::IpProto::icmp);
+  drop(std::move(p), FateKind::ttl_expired, at);
+
+  // RFC 792: routers report TTL expiry to the source — unless the expiring
+  // packet was itself ICMP (no ICMP about ICMP errors; echo is exempt but we
+  // conservatively skip all ICMP to avoid error storms).
+  if (!cfg_.emit_icmp_time_exceeded || was_icmp) return;
+  if (!router.icmp_permitted(queue_.now(), cfg_.icmp_rate_limit)) return;
+
+  auto icmp = net::make_icmp_packet(
+      router.loopback(), original_src, net::IcmpType::time_exceeded,
+      /*code=*/0, /*rest=*/0,
+      /*payload_len=*/28,  // original IP header + 8 bytes, per RFC 792
+      /*ttl=*/64, icmp_ip_id_++);
+  const std::uint64_t id =
+      inject(std::move(icmp), /*wire_len=*/56, at, queue_.now());
+  fates_.at(id).is_icmp_generated = true;
+  ++stats_.icmp_generated;
+}
+
+void Network::transmit(SimPacket&& p, routing::NodeId at,
+                       routing::LinkId link) {
+  SimLink& l = links_.at(static_cast<std::size_t>(link));
+  SimLink::TxTiming timing;
+  const auto result = l.transmit(queue_.now(), p.wire_len, at, timing);
+  if (result == SimLink::TxResult::link_down) {
+    drop(std::move(p), FateKind::link_down_drop, at);
+    return;
+  }
+  if (result == SimLink::TxResult::queue_full) {
+    drop(std::move(p), FateKind::queue_drop, at);
+    return;
+  }
+
+  for (auto& tap : taps_) {
+    if (tap.link == link && tap.from == at) {
+      tap.trace.add(timing.depart, p.hdr, p.wire_len);
+    }
+  }
+
+  const routing::NodeId next = l.spec().other(at);
+  queue_.schedule(timing.arrive, [this, p = std::move(p), next]() mutable {
+    arrive(std::move(p), next);
+  });
+}
+
+void Network::arrive(SimPacket&& p, routing::NodeId at) {
+  // Ground truth: revisiting a router means the packet is looping right now.
+  if (std::find(p.visited.begin(), p.visited.end(), at) != p.visited.end()) {
+    ++p.loop_crossings;
+    ++stats_.loop_crossings;
+    if (loop_crossings_.size() < kMaxStoredCrossings) {
+      loop_crossings_.push_back({queue_.now(),
+                                 net::Prefix::slash24(p.hdr.ip.dst), at, p.id});
+    }
+  }
+  p.visited.push_back(at);
+
+  SimRouter& router = routers_[static_cast<std::size_t>(at)];
+  const auto action = router.fib().lookup(p.hdr.ip.dst);
+  if (!action) {
+    drop(std::move(p), FateKind::no_route_drop, at);
+    return;
+  }
+  if (*action == kFibLocal) {
+    deliver(std::move(p), at);
+    return;
+  }
+  if (p.hdr.ip.ttl <= 1) {
+    expire_ttl(std::move(p), at);
+    return;
+  }
+
+  // Decrement TTL with the RFC 1624 incremental checksum update real routers
+  // perform; the TTL/checksum pair is the only difference between replicas.
+  const std::uint16_t old_word =
+      static_cast<std::uint16_t>((std::uint16_t{p.hdr.ip.ttl} << 8) |
+                                 p.hdr.ip.protocol);
+  p.hdr.ip.ttl -= 1;
+  const std::uint16_t new_word =
+      static_cast<std::uint16_t>((std::uint16_t{p.hdr.ip.ttl} << 8) |
+                                 p.hdr.ip.protocol);
+  p.hdr.ip.checksum =
+      net::incremental_checksum_update(p.hdr.ip.checksum, old_word, new_word);
+
+  transmit(std::move(p), at, static_cast<routing::LinkId>(*action));
+}
+
+}  // namespace rloop::sim

@@ -1,0 +1,227 @@
+// The simulated network: routers, links, taps, control-plane dynamics and
+// ground-truth bookkeeping.
+//
+// Traffic is injected at ingress routers and forwarded hop by hop through
+// FIBs. Control-plane events (link failures/restorations, BGP withdrawals)
+// do NOT atomically rewrite all FIBs: each router's table is replaced at the
+// instant the convergence model (routing/link_state.h, routing/bgp_lite.h)
+// says that router has converged. In the window where tables disagree,
+// packets loop — exactly the phenomenon the paper measures — and a tap on a
+// link records them into a Trace the detector can analyze.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/prefix.h"
+#include "net/time.h"
+#include "net/trace.h"
+#include "routing/bgp_lite.h"
+#include "routing/link_state.h"
+#include "routing/topology.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/router.h"
+#include "util/random.h"
+
+namespace rloop::sim {
+
+struct NetworkConfig {
+  // Routers answer TTL expiry with ICMP time-exceeded toward the source
+  // (rate-limited per router), as the paper observes in looped traffic.
+  bool emit_icmp_time_exceeded = true;
+  net::TimeNs icmp_rate_limit = 5 * net::kMillisecond;
+  // Fate tracking costs ~32 bytes per packet; always on in this repo.
+  bool record_fates = true;
+  routing::ConvergenceConfig igp;
+  routing::BgpConfig bgp;
+};
+
+enum class FateKind : std::uint8_t {
+  in_flight,
+  delivered,
+  ttl_expired,
+  queue_drop,
+  link_down_drop,
+  no_route_drop,
+};
+
+struct PacketFate {
+  FateKind kind = FateKind::in_flight;
+  net::TimeNs injected = 0;
+  net::TimeNs ended = 0;
+  std::uint16_t loop_crossings = 0;  // times the packet revisited a router
+  bool is_icmp_generated = false;    // router-originated time-exceeded
+  // Router where the packet was delivered or dropped (-1 while in flight).
+  // TTL-sweep probes use this to reconstruct traceroute-style paths.
+  routing::NodeId final_node = -1;
+
+  net::TimeNs delay() const { return ended - injected; }
+};
+
+// Control-plane event log entry. The paper's future work proposes
+// correlating detected loops with "complete BGP and IS-IS routing data";
+// the simulator exports exactly that feed (src/correlate consumes it).
+struct ControlEvent {
+  enum class Kind : std::uint8_t {
+    link_down,
+    link_up,
+    bgp_withdraw,
+    bgp_reannounce,
+    fib_update,      // a router's FIB replaced after IGP reconvergence
+    bgp_fib_update,  // a router switched one prefix to another egress
+    misconfig_set,   // operator error: FIB override installed
+    misconfig_clear,
+  };
+  Kind kind = Kind::fib_update;
+  net::TimeNs time = 0;
+  routing::LinkId link = -1;  // for link_* kinds
+  net::Prefix prefix;         // for bgp_* and misconfig kinds
+  routing::NodeId node = -1;  // for *_fib_update and misconfig kinds
+};
+
+// One router-revisit observation: ground truth that a loop is in progress.
+struct LoopCrossing {
+  net::TimeNs time = 0;
+  net::Prefix dst_prefix24;
+  routing::NodeId node = -1;
+  std::uint64_t packet_id = 0;
+};
+
+class Network {
+ public:
+  Network(routing::Topology topo, std::uint64_t seed, NetworkConfig cfg = {});
+
+  const routing::Topology& topology() const { return topo_; }
+  util::Rng& rng() { return rng_; }
+  net::TimeNs now() const { return queue_.now(); }
+
+  // --- route setup -------------------------------------------------------
+  // Registers an external prefix exiting at route.egress_preference[0]
+  // (later entries are fallbacks used when the best egress withdraws).
+  void attach_external_route(routing::ExternalRoute route);
+  // Computes and installs every router's full FIB from the current topology
+  // and external-route choices. Call once after setup; convergence events
+  // later keep FIBs up to date per-router.
+  void install_all_routes();
+
+  // --- taps ---------------------------------------------------------------
+  // Captures packets traversing `link` in the from_node -> other direction.
+  // Returns the index of the tap; retrieve the trace with tap_trace().
+  std::size_t add_tap(routing::LinkId link, routing::NodeId from_node,
+                      std::string trace_name, std::int64_t epoch_unix_s);
+  const net::Trace& tap_trace(std::size_t tap_index) const;
+
+  // --- traffic ------------------------------------------------------------
+  // Schedules injection of `pkt` at `ingress` at absolute time `t`;
+  // returns the packet id (index into fates()).
+  std::uint64_t inject(net::ParsedPacket pkt, std::uint32_t wire_len,
+                       routing::NodeId ingress, net::TimeNs t);
+  // General event scheduling for workload generators.
+  void schedule(net::TimeNs t, std::function<void()> fn);
+
+  // --- control-plane events ------------------------------------------------
+  // Fails/restores a link at time `t`; per-router FIB updates follow the
+  // IGP convergence model.
+  void fail_link(routing::LinkId link, net::TimeNs t);
+  void restore_link(routing::LinkId link, net::TimeNs t);
+  // Withdraws the currently-best egress of `prefix` at time `t`; per-router
+  // switches to the next-preferred egress follow the BGP convergence model.
+  // No-op (with a counted warning) when no fallback egress exists.
+  void withdraw_best_egress(const net::Prefix& prefix, net::TimeNs t);
+  // Restores the original preference order at time `t` (re-announcement).
+  void reannounce_prefix(const net::Prefix& prefix, net::TimeNs t);
+  // Operator misconfiguration (the paper's persistent-loop cause): at time
+  // `t`, forces `node`'s FIB entry for `prefix` onto `wrong_link`,
+  // overriding every later reconvergence, until cleared. Throws (when the
+  // event fires) if the link is not attached to the node.
+  void inject_misconfiguration(const net::Prefix& prefix, routing::NodeId node,
+                               routing::LinkId wrong_link, net::TimeNs t);
+  void clear_misconfiguration(const net::Prefix& prefix, routing::NodeId node,
+                              net::TimeNs t);
+
+  // --- execution -----------------------------------------------------------
+  void run_until(net::TimeNs t) { queue_.run_until(t); }
+  void run_all() { queue_.run_all(); }
+
+  // --- results --------------------------------------------------------------
+  struct Stats {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t ttl_expired = 0;
+    std::uint64_t queue_drops = 0;
+    std::uint64_t link_down_drops = 0;
+    std::uint64_t no_route_drops = 0;
+    std::uint64_t icmp_generated = 0;
+    std::uint64_t loop_crossings = 0;
+    std::uint64_t withdraw_without_fallback = 0;
+
+    std::uint64_t total_dropped() const {
+      return ttl_expired + queue_drops + link_down_drops + no_route_drops;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<PacketFate>& fates() const { return fates_; }
+  const std::vector<LoopCrossing>& loop_crossings() const {
+    return loop_crossings_;
+  }
+  // Time-ordered control-plane feed (simulated "BGP + IS-IS routing data").
+  const std::vector<ControlEvent>& control_log() const { return control_log_; }
+  const SimRouter& router(routing::NodeId id) const {
+    return routers_.at(static_cast<std::size_t>(id));
+  }
+
+ private:
+  struct ExternalState {
+    routing::ExternalRoute route;
+    // chosen[node] = index into route.egress_preference currently used by
+    // that node's FIB (per-node because convergence is per-node).
+    std::vector<int> chosen;
+  };
+
+  struct Tap {
+    routing::LinkId link;
+    routing::NodeId from;
+    net::Trace trace;
+  };
+
+  void arrive(SimPacket&& p, routing::NodeId at);
+  void deliver(SimPacket&& p, routing::NodeId at);
+  void drop(SimPacket&& p, FateKind kind, routing::NodeId at);
+  void expire_ttl(SimPacket&& p, routing::NodeId at);
+  void transmit(SimPacket&& p, routing::NodeId at, routing::LinkId link);
+
+  // Full route computation for one node given current topology + choices.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> compute_routes(
+      routing::NodeId node) const;
+  void refresh_node_fib(routing::NodeId node);
+  void finish_fate(std::uint64_t id, FateKind kind, std::uint16_t crossings,
+                   routing::NodeId at);
+
+  routing::Topology topo_;
+  NetworkConfig cfg_;
+  util::Rng rng_;
+  EventQueue queue_;
+  std::vector<SimRouter> routers_;
+  std::vector<SimLink> links_;
+  std::vector<Tap> taps_;
+  std::unordered_map<net::Prefix, ExternalState> external_;
+  std::vector<PacketFate> fates_;
+  std::vector<LoopCrossing> loop_crossings_;
+  std::vector<ControlEvent> control_log_;
+  // (node, prefix) -> forced outgoing link, applied over computed routes.
+  std::map<std::pair<routing::NodeId, net::Prefix>, routing::LinkId>
+      misconfigurations_;
+  Stats stats_;
+  std::uint16_t icmp_ip_id_ = 1;
+};
+
+}  // namespace rloop::sim

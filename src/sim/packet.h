@@ -1,0 +1,26 @@
+// The unit the simulator forwards: a parsed packet plus simulation metadata.
+//
+// `visited` is sim-only ground truth (it is never serialized into traces):
+// a router finding itself in the trail has observed a forwarding loop
+// directly, which is what the passive detector is later scored against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/time.h"
+#include "routing/topology.h"
+
+namespace rloop::sim {
+
+struct SimPacket {
+  net::ParsedPacket hdr;
+  std::uint32_t wire_len = 0;
+  net::TimeNs injected_at = 0;
+  std::uint64_t id = 0;  // index into Network's fate table
+  std::vector<routing::NodeId> visited;
+  std::uint16_t loop_crossings = 0;
+};
+
+}  // namespace rloop::sim

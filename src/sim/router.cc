@@ -1,0 +1,22 @@
+#include "sim/router.h"
+
+namespace rloop::sim {
+
+void SimRouter::install_routes(
+    const std::vector<std::pair<net::Prefix, std::uint32_t>>& routes) {
+  fib_.clear();
+  for (const auto& [prefix, value] : routes) {
+    fib_.insert(prefix, value);
+  }
+}
+
+bool SimRouter::icmp_permitted(net::TimeNs now, net::TimeNs interval) {
+  if (last_icmp_ != std::numeric_limits<net::TimeNs>::min() &&
+      now - last_icmp_ < interval) {
+    return false;
+  }
+  last_icmp_ = now;
+  return true;
+}
+
+}  // namespace rloop::sim

@@ -1,0 +1,47 @@
+// Per-router forwarding state.
+//
+// FIB values encode the forwarding action: kFibLocal delivers the packet at
+// this router (the destination prefix is attached here / exits the AS here),
+// any other value is the LinkId of the outgoing interface.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/time.h"
+#include "routing/lpm_trie.h"
+#include "routing/topology.h"
+
+namespace rloop::sim {
+
+inline constexpr std::uint32_t kFibLocal =
+    std::numeric_limits<std::uint32_t>::max();
+
+class SimRouter {
+ public:
+  SimRouter(routing::NodeId id, net::Ipv4Addr loopback)
+      : id_(id), loopback_(loopback) {}
+
+  routing::NodeId id() const { return id_; }
+  net::Ipv4Addr loopback() const { return loopback_; }
+
+  routing::LpmTrie& fib() { return fib_; }
+  const routing::LpmTrie& fib() const { return fib_; }
+
+  // Replaces the full FIB contents (IGP reconvergence installs a new table).
+  void install_routes(
+      const std::vector<std::pair<net::Prefix, std::uint32_t>>& routes);
+
+  // ICMP time-exceeded rate limiting (one per `interval` per router).
+  bool icmp_permitted(net::TimeNs now, net::TimeNs interval);
+
+ private:
+  routing::NodeId id_;
+  net::Ipv4Addr loopback_;
+  routing::LpmTrie fib_;
+  net::TimeNs last_icmp_ = std::numeric_limits<net::TimeNs>::min();
+};
+
+}  // namespace rloop::sim

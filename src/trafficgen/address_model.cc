@@ -1,0 +1,55 @@
+#include "trafficgen/address_model.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rloop::trafficgen {
+
+PrefixPool::PrefixPool(const PrefixPoolConfig& config, util::Rng& rng)
+    : zipf_(config.prefix_count, config.zipf_s) {
+  if (config.prefix_count == 0) {
+    throw std::invalid_argument("PrefixPool: prefix_count must be > 0");
+  }
+  std::unordered_set<std::uint32_t> seen;
+  prefixes_.reserve(config.prefix_count);
+  while (prefixes_.size() < config.prefix_count) {
+    std::uint8_t first;
+    if (rng.uniform() < config.class_c_fraction) {
+      first = static_cast<std::uint8_t>(rng.uniform_int(192, 223));
+    } else {
+      // Class A/B unicast space, avoiding 0, 10 (sim-internal), 127.
+      do {
+        first = static_cast<std::uint8_t>(rng.uniform_int(1, 191));
+      } while (first == 10 || first == 127);
+    }
+    const auto second = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto third = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const net::Ipv4Addr base(first, second, third, 0);
+    if (!seen.insert(base.value).second) continue;
+    prefixes_.push_back(net::Prefix::of(base, 24));
+  }
+}
+
+std::size_t PrefixPool::sample_index(util::Rng& rng) const {
+  return zipf_.sample(rng);
+}
+
+net::Ipv4Addr PrefixPool::sample_host(std::size_t index, util::Rng& rng) const {
+  const net::Prefix& p = prefixes_.at(index);
+  return net::Ipv4Addr{p.addr.value |
+                       static_cast<std::uint32_t>(rng.uniform_int(1, 254))};
+}
+
+net::Ipv4Addr PrefixPool::sample_destination(util::Rng& rng) const {
+  return sample_host(sample_index(rng), rng);
+}
+
+net::Ipv4Addr sample_multicast_group(util::Rng& rng) {
+  return net::Ipv4Addr(
+      static_cast<std::uint8_t>(rng.uniform_int(224, 239)),
+      static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+      static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+      static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+}
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,50 @@
+// Destination/source address pools.
+//
+// Destinations are a pool of /24 prefixes with Zipf popularity — the paper's
+// Figure 7 shows loops touching a wide spread of addresses with a bias
+// toward the class-C range (192.0.0.0–223.255.255.255). Pools also drive
+// which prefixes a scenario attaches to which egress routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "util/random.h"
+
+namespace rloop::trafficgen {
+
+struct PrefixPoolConfig {
+  std::size_t prefix_count = 256;
+  // Zipf exponent for popularity; 0 = uniform.
+  double zipf_s = 0.9;
+  // Fraction of prefixes drawn from the class-C range; the rest come from
+  // the class-A/B unicast space.
+  double class_c_fraction = 0.6;
+};
+
+class PrefixPool {
+ public:
+  // Generates `config.prefix_count` distinct /24 prefixes.
+  PrefixPool(const PrefixPoolConfig& config, util::Rng& rng);
+
+  const std::vector<net::Prefix>& prefixes() const { return prefixes_; }
+  std::size_t size() const { return prefixes_.size(); }
+
+  // Zipf-weighted prefix index.
+  std::size_t sample_index(util::Rng& rng) const;
+  // A host address inside prefix `index` (last octet 1..254).
+  net::Ipv4Addr sample_host(std::size_t index, util::Rng& rng) const;
+  // Convenience: host in a Zipf-sampled prefix.
+  net::Ipv4Addr sample_destination(util::Rng& rng) const;
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+  util::ZipfSampler zipf_;
+};
+
+// A multicast group address in 224.0.0.0/4 (the MCAST rows of Figures 5/6).
+net::Ipv4Addr sample_multicast_group(util::Rng& rng);
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,155 @@
+#include "trafficgen/flow.h"
+
+#include <algorithm>
+
+#include "net/packet.h"
+
+namespace rloop::trafficgen {
+
+namespace {
+
+std::uint16_t sample_payload(std::uint16_t mean, util::Rng& rng) {
+  // Bimodal like real traffic: mostly small or near-MTU.
+  if (rng.bernoulli(0.35)) {
+    return static_cast<std::uint16_t>(rng.uniform_int(0, 100));
+  }
+  const double v = rng.exponential(static_cast<double>(mean));
+  return static_cast<std::uint16_t>(std::min(v, 1440.0));
+}
+
+}  // namespace
+
+int emit_flow(sim::Network& network, const FlowSpec& spec, util::Rng& rng) {
+  net::TimeNs t = spec.start;
+  std::uint16_t ip_id = spec.first_ip_id;
+  std::uint32_t seq = static_cast<std::uint32_t>(rng.next_u64());
+  const std::uint32_t ack = static_cast<std::uint32_t>(rng.next_u64());
+  int injected = 0;
+
+  for (int i = 0; i < spec.packet_count; ++i) {
+    net::ParsedPacket pkt;
+    switch (spec.type) {
+      case FlowType::tcp: {
+        std::uint8_t flags;
+        std::uint16_t payload = 0;
+        const bool first = (i == 0) && !spec.tcp_established;
+        const bool last = (i == spec.packet_count - 1);
+        if (first) {
+          flags = net::kTcpSyn;
+        } else if (last && (spec.packet_count > 1 || spec.tcp_established)) {
+          flags = rng.bernoulli(0.92)
+                      ? static_cast<std::uint8_t>(net::kTcpFin | net::kTcpAck)
+                      : static_cast<std::uint8_t>(net::kTcpRst);
+        } else if (rng.bernoulli(0.45)) {
+          flags = net::kTcpAck;  // pure ACK
+        } else {
+          flags = static_cast<std::uint8_t>(net::kTcpAck | net::kTcpPsh);
+          payload = sample_payload(spec.mean_payload, rng);
+        }
+        pkt = net::make_tcp_packet(spec.src, spec.dst, spec.src_port,
+                                   spec.dst_port, seq, ack, flags, payload,
+                                   spec.initial_ttl, ip_id);
+        seq += payload + ((flags & net::kTcpSyn) ? 1 : 0);
+        break;
+      }
+      case FlowType::udp:
+      case FlowType::multicast_udp: {
+        const std::uint16_t payload = sample_payload(spec.mean_payload, rng);
+        pkt = net::make_udp_packet(spec.src, spec.dst, spec.src_port,
+                                   spec.dst_port, payload, spec.initial_ttl,
+                                   ip_id);
+        break;
+      }
+      case FlowType::icmp_echo: {
+        const std::uint32_t rest =
+            (std::uint32_t{spec.src_port} << 16) |
+            static_cast<std::uint32_t>(i + 1);  // identifier | sequence
+        pkt = net::make_icmp_packet(
+            spec.src, spec.dst, static_cast<net::IcmpType>(spec.icmp_type), 0,
+            rest, /*payload_len=*/56, spec.initial_ttl, ip_id);
+        break;
+      }
+    }
+    const std::uint32_t wire_len = pkt.ip.total_length;
+    network.inject(std::move(pkt), wire_len, spec.ingress, t);
+    ++injected;
+    ++ip_id;
+    t += std::max<net::TimeNs>(
+        static_cast<net::TimeNs>(
+            rng.exponential(static_cast<double>(spec.mean_gap))),
+        net::kMicrosecond);
+  }
+  return injected;
+}
+
+namespace {
+
+void attempt_syn(sim::Network& network, FlowSpec spec, util::Rng& rng,
+                 ClosedLoopConfig config, int attempt) {
+  // The SYN itself. Retransmissions reuse the TCP fields (same sequence
+  // number) under a fresh IP ID, like a real stack — so a retransmitted SYN
+  // is NOT a replica of the original in the detector's eyes.
+  auto syn = net::make_tcp_packet(
+      spec.src, spec.dst, spec.src_port, spec.dst_port,
+      /*seq=*/static_cast<std::uint32_t>(spec.src_port) << 16 | spec.dst_port,
+      /*ack=*/0, net::kTcpSyn, 0, spec.initial_ttl,
+      static_cast<std::uint16_t>(spec.first_ip_id + attempt));
+  const std::uint32_t wire_len = syn.ip.total_length;
+  const auto syn_id = network.inject(std::move(syn), wire_len, spec.ingress,
+                                     spec.start);
+
+  network.schedule(
+      spec.start + config.syn_check_delay,
+      [&network, &rng, spec, config, attempt, syn_id]() {
+        const auto& fate = network.fates().at(syn_id);
+        if (fate.kind == sim::FateKind::delivered) {
+          // Connection up: stream the rest of the flow.
+          if (spec.packet_count > 1) {
+            FlowSpec rest = spec;
+            rest.tcp_established = true;
+            rest.packet_count = spec.packet_count - 1;
+            rest.first_ip_id =
+                static_cast<std::uint16_t>(spec.first_ip_id + attempt + 1);
+            rest.start = network.now();
+            emit_flow(network, rest, rng);
+          }
+          return;
+        }
+        if (attempt < config.syn_retries) {
+          FlowSpec retry = spec;
+          retry.start = network.now() + config.syn_retry_backoff * (1 << attempt);
+          attempt_syn(network, retry, rng, config, attempt + 1);
+          return;
+        }
+        // Connection never came up. Sometimes the user investigates with
+        // ping — straight into the loop, if one is still active.
+        if (rng.bernoulli(config.ping_on_failure_prob)) {
+          FlowSpec ping;
+          ping.type = FlowType::icmp_echo;
+          ping.src = spec.src;
+          ping.dst = spec.dst;
+          ping.src_port = spec.src_port;  // echo identifier
+          ping.packet_count = static_cast<int>(rng.uniform_int(3, 5));
+          ping.start = network.now() + net::kSecond;
+          ping.mean_gap = net::kSecond;
+          ping.initial_ttl = spec.initial_ttl;
+          ping.first_ip_id =
+              static_cast<std::uint16_t>(spec.first_ip_id + 100);
+          ping.ingress = spec.ingress;
+          emit_flow(network, ping, rng);
+        }
+      });
+}
+
+}  // namespace
+
+void emit_flow_closed_loop(sim::Network& network, const FlowSpec& spec,
+                           util::Rng& rng, const ClosedLoopConfig& config) {
+  if (spec.type != FlowType::tcp || spec.tcp_established) {
+    emit_flow(network, spec, rng);
+    return;
+  }
+  attempt_syn(network, spec, rng, config, 0);
+}
+
+}  // namespace rloop::trafficgen

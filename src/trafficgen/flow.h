@@ -1,0 +1,69 @@
+// Flow models: the packet sequences one transport-level conversation emits.
+//
+// Only the direction that crosses the tapped link is generated (the paper's
+// traces are uni-directional), but the packet sequence within a flow is
+// realistic: TCP flows start with a SYN, carry data/pure-ACK packets and end
+// with FIN or RST; UDP flows are unstructured datagrams; ICMP echo flows are
+// ping trains. Every packet of a flow carries a distinct, incrementing IP ID,
+// which is what lets the detector separate a flow's packets from replicas of
+// one looped packet.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "net/time.h"
+#include "routing/topology.h"
+#include "sim/network.h"
+#include "util/random.h"
+
+namespace rloop::trafficgen {
+
+enum class FlowType : std::uint8_t { tcp, udp, icmp_echo, multicast_udp };
+
+struct FlowSpec {
+  FlowType type = FlowType::tcp;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  int packet_count = 1;
+  net::TimeNs start = 0;
+  // Mean inter-packet gap within the flow (exponential).
+  net::TimeNs mean_gap = 10 * net::kMillisecond;
+  std::uint8_t initial_ttl = 64;
+  std::uint16_t first_ip_id = 0;
+  // Mean TCP/UDP payload size for data packets, bytes.
+  std::uint16_t mean_payload = 512;
+  routing::NodeId ingress = 0;
+  // TCP: the connection is already established, so the first packet is data
+  // rather than a SYN (used by the closed-loop emitter's continuation).
+  bool tcp_established = false;
+  // ICMP: message type of generated packets (echo_request by default; the
+  // paper observed one host emitting reserved-type ICMP into loops).
+  std::uint8_t icmp_type = 8;
+};
+
+// Schedules every packet of `spec` into `network`; returns the number of
+// packets injected. Deterministic given the Rng state.
+int emit_flow(sim::Network& network, const FlowSpec& spec, util::Rng& rng);
+
+// Closed-loop TCP behaviour (paper §V-B): data packets follow only if the
+// SYN is actually delivered. A lost SYN is retransmitted with exponential
+// backoff (new IP ID, as real stacks do); when every attempt dies — e.g.
+// inside a routing loop — the flow transmits nothing further, and with
+// probability `ping_on_failure_prob` the "user" pings the unreachable
+// destination, feeding the echo-request trains the paper found looping.
+struct ClosedLoopConfig {
+  net::TimeNs syn_check_delay = 500 * net::kMillisecond;
+  int syn_retries = 2;
+  net::TimeNs syn_retry_backoff = 3 * net::kSecond;
+  double ping_on_failure_prob = 0.35;
+};
+
+// `network` and `rng` must outlive the simulation run (continuations hold
+// references to both).
+void emit_flow_closed_loop(sim::Network& network, const FlowSpec& spec,
+                           util::Rng& rng, const ClosedLoopConfig& config);
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,43 @@
+#include "trafficgen/ttl_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rloop::trafficgen {
+
+TtlModel::TtlModel(std::vector<std::pair<std::uint8_t, double>> table)
+    : table_(std::move(table)) {
+  if (table_.empty()) throw std::invalid_argument("TtlModel: empty table");
+  double total = 0.0;
+  for (const auto& [ttl, w] : table_) {
+    if (!(w > 0)) throw std::invalid_argument("TtlModel: non-positive weight");
+    total += w;
+  }
+  double acc = 0.0;
+  cdf_.reserve(table_.size());
+  for (auto& [ttl, w] : table_) {
+    w /= total;
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // guard FP round-off
+}
+
+TtlModel TtlModel::standard() {
+  return TtlModel({{64, 0.55}, {128, 0.40}, {32, 0.03}, {255, 0.02}});
+}
+
+TtlModel TtlModel::three_modes() {
+  return TtlModel({{64, 0.40}, {128, 0.32}, {32, 0.25}, {255, 0.03}});
+}
+
+std::uint8_t TtlModel::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  return table_[idx].first;
+}
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,42 @@
+// Initial-TTL model.
+//
+// The paper's Figures 3/8 get their step shapes from the small set of
+// initial TTLs operating systems use: 64 (Linux/BSD), 128 (Windows 2000),
+// 32 (Windows 9x) and 255 (Solaris and friends). A packet with initial TTL T
+// that enters a loop of TTL-delta d on a backbone (having already spent a few
+// hops) produces roughly T/d replicas, so the replica-count CDF jumps at
+// values determined by this distribution.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rloop::trafficgen {
+
+class TtlModel {
+ public:
+  // weights need not sum to 1; they are normalized internally.
+  // Throws std::invalid_argument on an empty table or non-positive weight.
+  explicit TtlModel(std::vector<std::pair<std::uint8_t, double>> table);
+
+  // Mix observed on most links: 64 and 128 dominate.
+  static TtlModel standard();
+  // Mix with three strong modes (64 / 128 / 32), modelling the paper's
+  // Backbone 4, whose duration CDF shows three distinct steps.
+  static TtlModel three_modes();
+
+  std::uint8_t sample(util::Rng& rng) const;
+
+  const std::vector<std::pair<std::uint8_t, double>>& table() const {
+    return table_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint8_t, double>> table_;  // normalized weights
+  std::vector<double> cdf_;
+};
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,123 @@
+#include "trafficgen/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rloop::trafficgen {
+
+Workload::Workload(WorkloadConfig config,
+                   std::shared_ptr<const PrefixPool> destinations,
+                   std::shared_ptr<const PrefixPool> sources,
+                   TtlModel ttl_model,
+                   std::vector<routing::NodeId> ingress_nodes)
+    : config_(config),
+      destinations_(std::move(destinations)),
+      sources_(std::move(sources)),
+      ttl_model_(std::move(ttl_model)),
+      ingress_nodes_(std::move(ingress_nodes)) {
+  if (!destinations_ || !sources_) {
+    throw std::invalid_argument("Workload: null address pool");
+  }
+  if (ingress_nodes_.empty()) {
+    throw std::invalid_argument("Workload: no ingress nodes");
+  }
+  if (!(config_.flows_per_second > 0)) {
+    throw std::invalid_argument("Workload: flows_per_second must be > 0");
+  }
+}
+
+void Workload::install(sim::Network& network, std::uint64_t seed) {
+  rng_ = std::make_unique<util::Rng>(seed);
+  network.schedule(config_.start,
+                   [this, &network]() { schedule_next_arrival(network); });
+}
+
+void Workload::schedule_next_arrival(sim::Network& network) {
+  const net::TimeNs gap = std::max<net::TimeNs>(
+      static_cast<net::TimeNs>(rng_->exponential(1e9 / config_.flows_per_second)),
+      1);
+  const net::TimeNs next = network.now() + gap;
+  if (next >= config_.start + config_.duration) return;
+  network.schedule(next, [this, &network]() {
+    start_flow(network);
+    schedule_next_arrival(network);
+  });
+}
+
+FlowSpec Workload::sample_flow(net::TimeNs at) {
+  util::Rng& rng = *rng_;
+  FlowSpec spec;
+  spec.start = at;
+  spec.mean_gap = config_.mean_packet_gap;
+  spec.mean_payload = config_.mean_payload;
+  spec.initial_ttl = ttl_model_.sample(rng);
+  spec.first_ip_id = static_cast<std::uint16_t>(rng.next_u64());
+  spec.ingress = ingress_nodes_[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(ingress_nodes_.size()) - 1))];
+  spec.src = sources_->sample_host(sources_->sample_index(rng), rng);
+
+  const double type_draw = rng.uniform();
+  const TrafficMix& mix = config_.mix;
+  const double total = mix.tcp + mix.udp + mix.icmp + mix.mcast;
+
+  if (type_draw < mix.tcp / total) {
+    spec.type = FlowType::tcp;
+    spec.dst = destinations_->sample_destination(rng);
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    static constexpr std::uint16_t kCommonPorts[] = {80,  443, 25,  53,
+                                                     110, 21,  8080};
+    spec.dst_port =
+        rng.bernoulli(0.8)
+            ? kCommonPorts[rng.uniform_int(0, 6)]
+            : static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.packet_count = std::max(
+        1, static_cast<int>(rng.pareto(1.5, config_.tcp_pareto_shape,
+                                       config_.tcp_flow_max_pkts) *
+                            config_.tcp_flow_mean_pkts / 4.0));
+    if (rng.bernoulli(config_.long_flow_prob)) {
+      spec.mean_gap = config_.mean_packet_gap * config_.long_flow_gap_multiplier;
+    }
+  } else if (type_draw < (mix.tcp + mix.udp) / total) {
+    spec.type = FlowType::udp;
+    spec.dst = destinations_->sample_destination(rng);
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.dst_port = rng.bernoulli(0.5)
+                        ? 53
+                        : static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.packet_count = std::max(
+        1, static_cast<int>(rng.exponential(config_.udp_flow_mean_pkts)));
+  } else if (type_draw < (mix.tcp + mix.udp + mix.icmp) / total) {
+    spec.type = FlowType::icmp_echo;
+    spec.dst = destinations_->sample_destination(rng);
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    spec.packet_count = std::max(
+        1, static_cast<int>(rng.exponential(config_.icmp_flow_mean_pkts)));
+    spec.mean_gap = net::kSecond;  // ping cadence
+    if (rng.bernoulli(config_.reserved_icmp_prob)) {
+      // The odd host: reserved ICMP type from one fixed source address.
+      spec.icmp_type = 38;
+      spec.src = sources_->sample_host(0, rng);
+    }
+  } else {
+    spec.type = FlowType::multicast_udp;
+    spec.dst = sample_multicast_group(rng);
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.dst_port = spec.src_port;
+    spec.packet_count = std::max(
+        1, static_cast<int>(rng.exponential(config_.udp_flow_mean_pkts)));
+  }
+  return spec;
+}
+
+void Workload::start_flow(sim::Network& network) {
+  const FlowSpec spec = sample_flow(network.now());
+  ++flows_generated_;
+  packets_generated_ += static_cast<std::uint64_t>(spec.packet_count);
+  if (spec.type == FlowType::tcp && config_.closed_loop_tcp) {
+    emit_flow_closed_loop(network, spec, *rng_, config_.closed_loop);
+  } else {
+    emit_flow(network, spec, *rng_);
+  }
+}
+
+}  // namespace rloop::trafficgen

@@ -1,0 +1,99 @@
+// Workload: an open-loop flow-arrival process that fills the simulated
+// network with a realistic traffic mix.
+//
+// Flow arrivals are Poisson; each arrival samples a flow type from the mix,
+// a destination from the prefix pool (Zipf popularity), a source from the
+// source pool, an ingress router, an initial TTL from the TTL model, and a
+// heavy-tailed flow length. The mix defaults reproduce the paper's Figure 5:
+// more than 80 % TCP, 5–15 % UDP, a few percent ICMP, a sliver of multicast.
+//
+// The generator is self-scheduling: each arrival event injects its flow's
+// packets and schedules the next arrival, so installing a workload costs
+// O(1) memory regardless of duration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/time.h"
+#include "routing/topology.h"
+#include "sim/network.h"
+#include "trafficgen/address_model.h"
+#include "trafficgen/flow.h"
+#include "trafficgen/ttl_model.h"
+#include "util/random.h"
+
+namespace rloop::trafficgen {
+
+struct TrafficMix {
+  double tcp = 0.82;
+  double udp = 0.13;
+  double icmp = 0.035;
+  double mcast = 0.015;
+};
+
+struct WorkloadConfig {
+  net::TimeNs start = 0;
+  net::TimeNs duration = 60 * net::kSecond;
+  double flows_per_second = 200.0;
+  TrafficMix mix;
+  // TCP flow lengths are bounded-Pareto (heavy-tailed); UDP and ICMP are
+  // geometric-ish around their means.
+  double tcp_flow_mean_pkts = 12.0;
+  double tcp_pareto_shape = 1.3;
+  double tcp_flow_max_pkts = 400.0;
+  double udp_flow_mean_pkts = 10.0;
+  double icmp_flow_mean_pkts = 5.0;
+  net::TimeNs mean_packet_gap = 8 * net::kMillisecond;
+  std::uint16_t mean_payload = 420;
+  // TCP flows are closed-loop: data follows only a delivered SYN (paper
+  // §V-B: looped SYNs never establish connections, so looped traffic is
+  // SYN-enriched while UDP keeps sending).
+  bool closed_loop_tcp = true;
+  ClosedLoopConfig closed_loop;
+  // A small share of ICMP flows uses a reserved message type from one fixed
+  // host, mirroring the oddball sender the paper observed on B1/B2.
+  double reserved_icmp_prob = 0.04;
+  // Fraction of TCP flows that are long-lived (paced tens of seconds rather
+  // than ~100 ms). Their in-flight data packets are what a loop catches
+  // mid-connection, putting ACK/PSH traffic into Figure 6's looped mix.
+  double long_flow_prob = 0.15;
+  int long_flow_gap_multiplier = 25;
+};
+
+class Workload {
+ public:
+  // `ingress_nodes` are sampled uniformly per flow. Pools are shared with the
+  // scenario (which also attaches the pools' prefixes to egress routers).
+  Workload(WorkloadConfig config, std::shared_ptr<const PrefixPool> destinations,
+           std::shared_ptr<const PrefixPool> sources, TtlModel ttl_model,
+           std::vector<routing::NodeId> ingress_nodes);
+
+  // Starts the arrival process; packet injections then happen as the
+  // simulation runs. `seed` isolates workload randomness from the network's
+  // control-plane randomness.
+  void install(sim::Network& network, std::uint64_t seed);
+
+  std::uint64_t flows_generated() const { return flows_generated_; }
+  // Offered load: the sum of sampled flow sizes. Closed-loop TCP flows may
+  // inject fewer packets than offered when their SYNs die.
+  std::uint64_t packets_generated() const { return packets_generated_; }
+
+ private:
+  void schedule_next_arrival(sim::Network& network);
+  void start_flow(sim::Network& network);
+  FlowSpec sample_flow(net::TimeNs at);
+
+  WorkloadConfig config_;
+  std::shared_ptr<const PrefixPool> destinations_;
+  std::shared_ptr<const PrefixPool> sources_;
+  TtlModel ttl_model_;
+  std::vector<routing::NodeId> ingress_nodes_;
+  std::unique_ptr<util::Rng> rng_;
+  std::uint16_t next_ip_id_base_ = 257;
+  std::uint64_t flows_generated_ = 0;
+  std::uint64_t packets_generated_ = 0;
+};
+
+}  // namespace rloop::trafficgen

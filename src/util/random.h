@@ -1,0 +1,138 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// std::mt19937 is deterministic but the standard distributions are not
+// specified bit-for-bit across implementations; every scenario in this repo
+// must regenerate identical traces anywhere, so both the generator
+// (xoshiro256++) and all distributions are implemented here.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace rloop::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // xoshiro256++
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection-free Lemire-style bounded draw; bias is < 2^-64 * range,
+    // irrelevant at our scales but still avoided via rejection.
+    std::uint64_t threshold = (-range) % range;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+    }
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller (one value per call; simple over fast).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+  // Bounded Pareto-ish heavy tail for flow sizes: continuous Pareto with
+  // shape `alpha` and scale `xm`, capped at `cap`.
+  double pareto(double xm, double alpha, double cap) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    const double v = xm / std::pow(u, 1.0 / alpha);
+    return v > cap ? cap : v;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+// Precomputed Zipf sampler over ranks 0..n-1 with exponent s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+inline ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(total);
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+inline std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace rloop::util

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/cdf.h"
+#include "analysis/csv.h"
+#include "analysis/histogram.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace rloop::analysis {
+namespace {
+
+TEST(Histogram, BinsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.0);  // bin 0: [0,2)
+  h.add(5.0);  // bin 2
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightsAndValidation) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 10);
+  EXPECT_EQ(h.bin(0), 10u);
+  EXPECT_THROW(Histogram(1.0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(DiscreteHistogram, CountsAndMode) {
+  DiscreteHistogram h;
+  h.add(2, 10);
+  h.add(3, 4);
+  h.add(8);
+  EXPECT_EQ(h.total(), 15u);
+  EXPECT_EQ(h.count(2), 10u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.mode(), 2);
+  EXPECT_NEAR(h.fraction(3), 4.0 / 15.0, 1e-12);
+  DiscreteHistogram empty;
+  EXPECT_THROW(empty.mode(), std::logic_error);
+}
+
+TEST(CategoricalCounter, MultiCategorySamples) {
+  CategoricalCounter c;
+  c.add_sample();
+  c.add("TCP");
+  c.add("SYN");
+  c.add_sample();
+  c.add("UDP");
+  EXPECT_EQ(c.total(), 2u);
+  EXPECT_DOUBLE_EQ(c.fraction("TCP"), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction("SYN"), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction("UDP"), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction("ICMP"), 0.0);
+}
+
+TEST(EmpiricalCdf, QuantilesNearestRank) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 50.5);
+}
+
+TEST(EmpiricalCdf, FractionAtOrBelow) {
+  EmpiricalCdf cdf;
+  cdf.add(1);
+  cdf.add(2);
+  cdf.add(2);
+  cdf.add(10);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10), 1.0);
+}
+
+TEST(EmpiricalCdf, PointsDownsampleAndEndAtOne) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(i);
+  const auto points = cdf.points(10);
+  ASSERT_FALSE(points.empty());
+  EXPECT_LE(points.size(), 12u);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 999.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].first, points[i].first);
+    EXPECT_LE(points[i - 1].second, points[i].second);
+  }
+}
+
+TEST(EmpiricalCdf, ErrorsOnEmptyAndBadQuantile) {
+  EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  cdf.add(1.0);
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(5), 1.0);
+}
+
+TEST(OnlineStats, WelfordMatchesClosedForm) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStats, DegenerateCases) {
+  OnlineStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RateSeries, BinsEvents) {
+  RateSeries series(60.0);
+  series.add(5.0);
+  series.add(59.0, 2);
+  series.add(61.0);
+  series.add(200.0);
+  ASSERT_EQ(series.bins().size(), 4u);
+  EXPECT_EQ(series.bins()[0], 3u);
+  EXPECT_EQ(series.bins()[1], 1u);
+  EXPECT_EQ(series.bins()[2], 0u);
+  EXPECT_EQ(series.bins()[3], 1u);
+  EXPECT_EQ(series.max_bin(), 3u);
+  EXPECT_EQ(series.total(), 5u);
+  EXPECT_THROW(RateSeries(0.0), std::invalid_argument);
+}
+
+TEST(TextTable, AlignedOutput) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("Name   Count"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_NE(text.find("b      12345"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.1234), "12.3%");
+  EXPECT_EQ(format_si(1500.0), "1.5k");
+  EXPECT_EQ(format_si(2'500'000.0), "2.5M");
+  EXPECT_EQ(format_si(3'200'000'000.0), "3.2G");
+  EXPECT_EQ(format_si(12.0), "12.0");
+}
+
+TEST(CsvWriter, WritesEscapedRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "rloop_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"quote\"inside", "multi\nline"});
+    EXPECT_THROW(csv.add_row({"one"}), std::invalid_argument);
+    csv.close();
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rloop::analysis

@@ -1,0 +1,126 @@
+#include "net/anonymize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/loop_detector.h"
+#include "net/packet.h"
+#include "trace_builder.h"
+#include "util/random.h"
+
+namespace rloop::net {
+namespace {
+
+using rloop::testing::TraceBuilder;
+
+TEST(Anonymizer, Deterministic) {
+  const Anonymizer a(42), b(42);
+  const Ipv4Addr addr(198, 51, 100, 7);
+  EXPECT_EQ(a.map(addr), b.map(addr));
+  EXPECT_EQ(a.map(addr), a.map(addr));
+}
+
+TEST(Anonymizer, DifferentKeysDifferentMappings) {
+  const Anonymizer a(1), b(2);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const Ipv4Addr addr{i * 2654435761u};
+    if (a.map(addr) == b.map(addr)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Anonymizer, Injective) {
+  const Anonymizer anon(7);
+  std::set<std::uint32_t> images;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    images.insert(anon.map(Ipv4Addr{i * 1048583u}).value);
+  }
+  EXPECT_EQ(images.size(), 4096u);
+}
+
+// The defining property: common prefix length is exactly preserved.
+TEST(Anonymizer, PrefixPreserving) {
+  const Anonymizer anon(99);
+  auto common_bits = [](std::uint32_t a, std::uint32_t b) {
+    for (int i = 0; i < 32; ++i) {
+      if ((a ^ b) & (0x80000000u >> i)) return i;
+    }
+    return 32;
+  };
+  util::Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Ipv4Addr x{static_cast<std::uint32_t>(rng.next_u64())};
+    const Ipv4Addr y{static_cast<std::uint32_t>(rng.next_u64())};
+    const int before = common_bits(x.value, y.value);
+    const int after = common_bits(anon.map(x).value, anon.map(y).value);
+    ASSERT_EQ(before, after)
+        << x.to_string() << " / " << y.to_string() << " trial " << trial;
+  }
+}
+
+TEST(Anonymizer, TraceRewriteKeepsChecksumsValid) {
+  TraceBuilder builder;
+  builder.packet(0, Ipv4Addr(203, 0, 113, 10), 64, 1);
+  builder.packet(1000, Ipv4Addr(198, 18, 5, 9), 32, 2);
+  const Anonymizer anon(1234);
+  const auto anon_trace = anon.anonymize(builder.trace());
+
+  ASSERT_EQ(anon_trace.size(), 2u);
+  for (const auto& rec : anon_trace.records()) {
+    const auto parsed = parse_packet(rec.bytes());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->ip.checksum_valid());
+  }
+  // Addresses actually changed.
+  const auto first = parse_packet(anon_trace[0].bytes());
+  EXPECT_NE(first->ip.dst, Ipv4Addr(203, 0, 113, 10));
+}
+
+TEST(Anonymizer, MalformedRecordsCopiedVerbatim) {
+  TraceBuilder builder;
+  builder.raw(0, std::vector<std::byte>(8, std::byte{0x5a}));
+  const auto anon_trace = Anonymizer(5).anonymize(builder.trace());
+  ASSERT_EQ(anon_trace.size(), 1u);
+  EXPECT_EQ(anon_trace[0].bytes()[0], std::byte{0x5a});
+}
+
+TEST(Anonymizer, DetectionResultsInvariant) {
+  // The headline guarantee: anonymizing a trace changes none of the loop
+  // analysis (same streams, same loops, same TTL deltas).
+  TraceBuilder builder;
+  for (int i = 0; i < 200; ++i) {
+    builder.packet(i * 5000, Ipv4Addr(198, 18, 0, 5), 64,
+                   static_cast<std::uint16_t>(i));
+  }
+  builder.replica_stream(600'000, Ipv4Addr(203, 0, 113, 10), 60, 777, 10, 2,
+                         net::kMillisecond);
+  builder.replica_stream(2 * net::kSecond, Ipv4Addr(192, 0, 2, 33), 128, 778,
+                         20, 3, 2 * net::kMillisecond);
+
+  const auto plain = core::detect_loops(builder.trace());
+  const auto anon_trace = Anonymizer(0xfeedface).anonymize(builder.trace());
+  const auto anon = core::detect_loops(anon_trace);
+
+  ASSERT_EQ(anon.raw_streams.size(), plain.raw_streams.size());
+  ASSERT_EQ(anon.valid_streams.size(), plain.valid_streams.size());
+  ASSERT_EQ(anon.loops.size(), plain.loops.size());
+  // Loops are ordered by prefix, and prefixes are permuted by the mapping;
+  // compare the (time, size, delta) signatures order-independently.
+  auto signatures = [](const core::LoopDetectionResult& result) {
+    std::vector<std::tuple<net::TimeNs, net::TimeNs, std::uint64_t, int>> sig;
+    for (const auto& loop : result.loops) {
+      sig.emplace_back(loop.start, loop.end, loop.replica_count,
+                       loop.ttl_delta);
+    }
+    std::sort(sig.begin(), sig.end());
+    return sig;
+  };
+  EXPECT_EQ(signatures(anon), signatures(plain));
+}
+
+}  // namespace
+}  // namespace rloop::net

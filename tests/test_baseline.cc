@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "baseline/comparison.h"
+#include "baseline/prober.h"
+#include "net/packet.h"
+
+namespace rloop::baseline {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+// --- merge_crossings --------------------------------------------------------
+
+sim::LoopCrossing crossing(net::TimeNs t, const Prefix& p) {
+  sim::LoopCrossing c;
+  c.time = t;
+  c.dst_prefix24 = p;
+  c.node = 0;
+  c.packet_id = 0;
+  return c;
+}
+
+TEST(MergeCrossings, MergesWithinGapSplitsBeyond) {
+  const auto p = *Prefix::parse("203.0.113.0/24");
+  std::vector<sim::LoopCrossing> crossings = {
+      crossing(0, p), crossing(net::kSecond, p),
+      crossing(10 * net::kSecond, p),  // > 2 s gap: new loop
+  };
+  const auto loops = merge_crossings(crossings, 2 * net::kSecond);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].start, 0);
+  EXPECT_EQ(loops[0].end, net::kSecond);
+  EXPECT_EQ(loops[0].crossings, 2u);
+  EXPECT_EQ(loops[1].start, 10 * net::kSecond);
+}
+
+TEST(MergeCrossings, SeparatesPrefixes) {
+  const auto p1 = *Prefix::parse("203.0.113.0/24");
+  const auto p2 = *Prefix::parse("198.18.5.0/24");
+  std::vector<sim::LoopCrossing> crossings = {crossing(0, p1),
+                                              crossing(100, p2)};
+  const auto loops = merge_crossings(crossings);
+  EXPECT_EQ(loops.size(), 2u);
+}
+
+TEST(MergeCrossings, HandlesUnsortedInput) {
+  const auto p = *Prefix::parse("203.0.113.0/24");
+  std::vector<sim::LoopCrossing> crossings = {crossing(net::kSecond, p),
+                                              crossing(0, p)};
+  const auto loops = merge_crossings(crossings, 2 * net::kSecond);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].start, 0);
+  EXPECT_EQ(loops[0].end, net::kSecond);
+}
+
+// --- scoring ----------------------------------------------------------------
+
+TruthLoop truth(const Prefix& p, net::TimeNs start, net::TimeNs end) {
+  TruthLoop t;
+  t.prefix24 = p;
+  t.start = start;
+  t.end = end;
+  return t;
+}
+
+core::RoutingLoop report(const Prefix& p, net::TimeNs start, net::TimeNs end) {
+  core::RoutingLoop r;
+  r.prefix24 = p;
+  r.start = start;
+  r.end = end;
+  return r;
+}
+
+TEST(ScorePassive, RecallAndPrecision) {
+  const auto p1 = *Prefix::parse("203.0.113.0/24");
+  const auto p2 = *Prefix::parse("198.18.5.0/24");
+  const std::vector<TruthLoop> truths = {
+      truth(p1, 0, net::kSecond),
+      truth(p2, 10 * net::kSecond, 12 * net::kSecond)};
+  const std::vector<core::RoutingLoop> reports = {
+      report(p1, 100, net::kSecond / 2),                        // hit
+      report(p1, 100 * net::kSecond, 101 * net::kSecond),       // miss (time)
+      report(*Prefix::parse("9.9.9.0/24"), 0, net::kSecond)};   // miss (prefix)
+  const auto score = score_passive(truths, reports, /*slack=*/0);
+  EXPECT_EQ(score.truth_loops, 2u);
+  EXPECT_EQ(score.detected, 1u);
+  EXPECT_EQ(score.reports, 3u);
+  EXPECT_EQ(score.unmatched_reports, 2u);
+  EXPECT_DOUBLE_EQ(score.recall(), 0.5);
+  EXPECT_NEAR(score.precision(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ScorePassive, SlackExtendsMatching) {
+  const auto p = *Prefix::parse("203.0.113.0/24");
+  const std::vector<TruthLoop> truths = {truth(p, 0, net::kSecond)};
+  // Report starts 0.5 s after the truth loop ended.
+  const std::vector<core::RoutingLoop> reports = {
+      report(p, net::kSecond + net::kSecond / 2, 3 * net::kSecond)};
+  EXPECT_EQ(score_passive(truths, reports, /*slack=*/0).detected, 0u);
+  EXPECT_EQ(score_passive(truths, reports, net::kSecond).detected, 1u);
+}
+
+TEST(ScoreProber, OnlyLoopObservationsCount) {
+  const auto p = *Prefix::parse("203.0.113.0/24");
+  const std::vector<TruthLoop> truths = {truth(p, 0, 10 * net::kSecond)};
+  ProbeObservation inside;
+  inside.time = net::kSecond;
+  inside.target = p;
+  inside.loop_detected = true;
+  ProbeObservation negative = inside;
+  negative.loop_detected = false;
+  ProbeObservation outside = inside;
+  outside.time = net::kMinute;
+  const auto score =
+      score_prober(truths, {inside, negative, outside}, /*slack=*/0);
+  EXPECT_EQ(score.reports, 2u);  // only loop_detected observations
+  EXPECT_EQ(score.detected, 1u);
+  EXPECT_EQ(score.unmatched_reports, 1u);
+}
+
+TEST(DetectorScore, DegenerateRatios) {
+  DetectorScore score;
+  EXPECT_DOUBLE_EQ(score.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.0);
+}
+
+// --- prober end-to-end -------------------------------------------------------
+
+TEST(TracerouteProber, ReconstructsPathAndReachesDestination) {
+  // Chain: vantage - m1 - m2 - egress.
+  routing::Topology topo;
+  const auto vantage = topo.add_node("vantage");
+  const auto m1 = topo.add_node("m1");
+  const auto m2 = topo.add_node("m2");
+  const auto egress = topo.add_node("egress");
+  topo.add_link(vantage, m1, net::kMillisecond, 1e9, 100, 1);
+  topo.add_link(m1, m2, net::kMillisecond, 1e9, 100, 1);
+  topo.add_link(m2, egress, net::kMillisecond, 1e9, 100, 1);
+
+  sim::Network network(topo, 1, {});
+  const auto target = *Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({target, {egress}});
+  network.install_all_routes();
+
+  ProberConfig cfg;
+  cfg.start = net::kSecond;
+  cfg.probe_interval = net::kMinute;
+  cfg.duration = 2 * net::kSecond;  // one sweep
+  cfg.max_ttl = 8;
+  TracerouteProber prober(cfg, {target}, vantage);
+  prober.install(network);
+  network.run_all();
+
+  ASSERT_EQ(prober.observations().size(), 1u);
+  const auto& obs = prober.observations().front();
+  EXPECT_TRUE(obs.reached);
+  EXPECT_FALSE(obs.loop_detected);
+  // TTL1 expires at m1, TTL2 at m2, TTL3 delivered at egress.
+  ASSERT_EQ(obs.path.size(), 3u);
+  EXPECT_EQ(obs.path[0], m1);
+  EXPECT_EQ(obs.path[1], m2);
+  EXPECT_EQ(obs.path[2], egress);
+}
+
+TEST(TracerouteProber, DetectsLoopInProgress) {
+  // Figure-1 triangle with a slow fallback: the loop lasts ~ the MRAI, and
+  // the sweep runs while it is active.
+  routing::Topology topo;
+  const auto r = topo.add_node("R");
+  const auto r1 = topo.add_node("R1");
+  const auto r2 = topo.add_node("R2");
+  topo.add_link(r, r1, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r, r2, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r1, r2, net::kMillisecond, 1e9, 200, 1);
+
+  sim::NetworkConfig net_cfg;
+  net_cfg.bgp.ibgp_prop_mean = 4 * net::kSecond;
+  net_cfg.bgp.ibgp_prop_jitter = 0;
+  net_cfg.bgp.mrai_max = 4 * net::kSecond;
+  sim::Network network(topo, 9, net_cfg);
+  const auto target = *Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({target, {r, r2}});
+  network.attach_external_route({*Prefix::parse("198.51.100.0/24"), {r1}});
+  network.install_all_routes();
+
+  // Withdraw right before the sweep so the loop is active during probing.
+  network.withdraw_best_egress(target, net::kSecond);
+
+  ProberConfig cfg;
+  cfg.start = 2 * net::kSecond;
+  cfg.probe_interval = net::kMinute;
+  cfg.duration = net::kSecond;  // single sweep at t=2s
+  cfg.max_ttl = 10;
+  TracerouteProber prober(cfg, {target}, r1);
+  prober.install(network);
+  network.run_until(net::kMinute);
+
+  ASSERT_EQ(prober.observations().size(), 1u);
+  EXPECT_TRUE(prober.observations().front().loop_detected);
+  EXPECT_GT(prober.probes_sent(), 0u);
+}
+
+TEST(TracerouteProber, MissesLoopBetweenSweeps) {
+  // Same scenario, but the sweep fires long after the loop healed: the
+  // paper's core argument against probing-based detection.
+  routing::Topology topo;
+  const auto r = topo.add_node("R");
+  const auto r1 = topo.add_node("R1");
+  const auto r2 = topo.add_node("R2");
+  topo.add_link(r, r1, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r, r2, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r1, r2, net::kMillisecond, 1e9, 200, 1);
+
+  sim::NetworkConfig net_cfg;
+  net_cfg.bgp.mrai_max = net::kSecond;
+  sim::Network network(topo, 9, net_cfg);
+  const auto target = *Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({target, {r, r2}});
+  network.attach_external_route({*Prefix::parse("198.51.100.0/24"), {r1}});
+  network.install_all_routes();
+  network.withdraw_best_egress(target, net::kSecond);
+
+  ProberConfig cfg;
+  cfg.start = 30 * net::kSecond;  // loop healed within ~2 s
+  cfg.probe_interval = net::kMinute;
+  cfg.duration = net::kSecond;
+  TracerouteProber prober(cfg, {target}, r1);
+  prober.install(network);
+  network.run_until(2 * net::kMinute);
+
+  ASSERT_EQ(prober.observations().size(), 1u);
+  EXPECT_FALSE(prober.observations().front().loop_detected);
+  EXPECT_TRUE(prober.observations().front().reached);
+}
+
+}  // namespace
+}  // namespace rloop::baseline

@@ -1,0 +1,116 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/random.h"
+
+namespace rloop::net {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<unsigned> values) {
+  std::vector<std::byte> out;
+  for (unsigned v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, SingleWord) {
+  const auto data = bytes({0x12, 0x34});
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x1234));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  // Trailing byte 0xAB contributes 0xAB00.
+  const auto data = bytes({0x12, 0x34, 0xab});
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~(0x1234 + 0xab00)));
+}
+
+TEST(Checksum, CarryFolding) {
+  // 0xFFFF + 0x0001 = 0x10000 -> folds to 0x0001 -> checksum ~1.
+  const auto data = bytes({0xff, 0xff, 0x00, 0x01});
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x0001));
+}
+
+TEST(Checksum, Rfc1071ExampleHeader) {
+  // Classic worked example: an IPv4 header whose checksum field is 0xb861.
+  const auto header = bytes({0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+                             0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+                             0xc0, 0xa8, 0x00, 0xc7});
+  EXPECT_EQ(internet_checksum(header), 0xb861);
+}
+
+TEST(Checksum, VerifiesToZeroWithChecksumInPlace) {
+  auto header = bytes({0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+                       0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8, 0x00, 0x01,
+                       0xc0, 0xa8, 0x00, 0xc7});
+  // Sum over a header including its correct checksum folds to 0xffff, so the
+  // final complement is 0.
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(IncrementalChecksum, MatchesFullRecomputeForTtlDecrement) {
+  Ipv4Header h;
+  h.src = Ipv4Addr(192, 168, 0, 1);
+  h.dst = Ipv4Addr(10, 1, 2, 3);
+  h.ttl = 64;
+  h.protocol = 6;
+  h.total_length = 1500;
+  h.id = 777;
+  h.checksum = h.compute_checksum();
+
+  for (int step = 0; step < 60; ++step) {
+    const std::uint16_t old_word =
+        static_cast<std::uint16_t>((std::uint16_t{h.ttl} << 8) | h.protocol);
+    h.ttl -= 1;
+    const std::uint16_t new_word =
+        static_cast<std::uint16_t>((std::uint16_t{h.ttl} << 8) | h.protocol);
+    h.checksum = incremental_checksum_update(h.checksum, old_word, new_word);
+    ASSERT_EQ(h.checksum, h.compute_checksum()) << "after step " << step;
+  }
+}
+
+TEST(IncrementalChecksum, RandomWordChangesMatchRecompute) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ipv4Header h;
+    h.src = Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())};
+    h.dst = Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())};
+    h.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    h.protocol = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    h.total_length = static_cast<std::uint16_t>(rng.uniform_int(20, 65535));
+    h.id = static_cast<std::uint16_t>(rng.next_u64());
+    h.checksum = h.compute_checksum();
+
+    // Change the ID field (a 16-bit word) and update incrementally.
+    const std::uint16_t old_id = h.id;
+    h.id = static_cast<std::uint16_t>(rng.next_u64());
+    h.checksum = incremental_checksum_update(h.checksum, old_id, h.id);
+    ASSERT_EQ(h.checksum, h.compute_checksum()) << "trial " << trial;
+  }
+}
+
+TEST(PseudoHeader, SumMatchesManualComputation) {
+  const std::uint32_t src = 0xc0a80001;  // 192.168.0.1
+  const std::uint32_t dst = 0x0a010203;  // 10.1.2.3
+  const std::uint32_t sum = pseudo_header_sum(src, dst, 17, 28);
+  EXPECT_EQ(sum, (0xc0a8u + 0x0001u + 0x0a01u + 0x0203u + 17u + 28u));
+}
+
+TEST(FoldChecksum, FoldsMultipleCarries) {
+  // 0x0001ffff -> 0xffff + 0x0001 = 0x10000 -> 0x0000 + 0x0001 = 0x0001.
+  EXPECT_EQ(fold_checksum(0x0001ffff), static_cast<std::uint16_t>(~0x0001));
+  EXPECT_EQ(fold_checksum(0x00020003),
+            static_cast<std::uint16_t>(~0x0005));
+}
+
+}  // namespace
+}  // namespace rloop::net

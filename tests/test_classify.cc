@@ -1,0 +1,123 @@
+#include "core/classify.h"
+
+#include "core/loop_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/prefix.h"
+#include "sim/network.h"
+
+namespace rloop::core {
+namespace {
+
+RoutingLoop loop_at(net::TimeNs start, net::TimeNs end) {
+  RoutingLoop loop;
+  loop.prefix24 = *net::Prefix::parse("203.0.113.0/24");
+  loop.start = start;
+  loop.end = end;
+  return loop;
+}
+
+TEST(Classify, ShortLoopIsTransient) {
+  const std::vector<RoutingLoop> loops = {loop_at(0, 3 * net::kSecond)};
+  const auto result = classify_loops(loops, net::kMinute * 30);
+  EXPECT_EQ(result.transient, 1u);
+  EXPECT_EQ(result.persistent, 0u);
+  EXPECT_EQ(result.classes[0], LoopClass::transient);
+  EXPECT_DOUBLE_EQ(result.persistent_fraction(), 0.0);
+}
+
+TEST(Classify, LongLoopIsPersistent) {
+  const std::vector<RoutingLoop> loops = {loop_at(0, 6 * net::kMinute)};
+  const auto result = classify_loops(loops, net::kMinute * 30);
+  EXPECT_EQ(result.persistent, 1u);
+}
+
+TEST(Classify, OngoingAtTraceEndIsPersistentIfOldEnough) {
+  const net::TimeNs trace_end = 10 * net::kMinute;
+  // Runs until the end, 2 minutes old: persistent.
+  const std::vector<RoutingLoop> old_ongoing = {
+      loop_at(8 * net::kMinute, trace_end - net::kSecond)};
+  EXPECT_EQ(classify_loops(old_ongoing, trace_end).persistent, 1u);
+
+  // Runs until the end but only 5 s old: could be a truncated transient.
+  const std::vector<RoutingLoop> young_ongoing = {
+      loop_at(trace_end - 5 * net::kSecond, trace_end - net::kSecond)};
+  EXPECT_EQ(classify_loops(young_ongoing, trace_end).transient, 1u);
+}
+
+TEST(Classify, ThresholdConfigurable) {
+  const std::vector<RoutingLoop> loops = {loop_at(0, 30 * net::kSecond)};
+  ClassifierConfig cfg;
+  cfg.persistent_threshold = 20 * net::kSecond;
+  EXPECT_EQ(classify_loops(loops, net::kMinute * 30, cfg).persistent, 1u);
+}
+
+TEST(Classify, MixedPopulation) {
+  const net::TimeNs trace_end = 60 * net::kMinute;
+  const std::vector<RoutingLoop> loops = {
+      loop_at(0, net::kSecond),
+      loop_at(net::kMinute, net::kMinute + 8 * net::kMinute),
+      loop_at(20 * net::kMinute, 20 * net::kMinute + 2 * net::kSecond),
+  };
+  const auto result = classify_loops(loops, trace_end);
+  EXPECT_EQ(result.transient, 2u);
+  EXPECT_EQ(result.persistent, 1u);
+  EXPECT_NEAR(result.persistent_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+// End-to-end: a misconfigured router produces a loop the detector finds and
+// the classifier labels persistent.
+TEST(Classify, DetectsInjectedMisconfigurationLoop) {
+  routing::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto ab = topo.add_link(a, b, net::kMillisecond, 1e9, 400, 1);
+  topo.add_link(b, c, net::kMillisecond, 1e9, 400, 1);
+
+  sim::Network network(topo, 11, {});
+  const auto prefix = *net::Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({prefix, {c}});
+  network.attach_external_route({*net::Prefix::parse("198.51.100.0/24"), {a}});
+  network.install_all_routes();
+  const auto tap = network.add_tap(ab, a, "tap", 0);
+
+  // At t=5s, b's operator fat-fingers a static route for the prefix back
+  // toward a; cleared at t=6min.
+  network.inject_misconfiguration(prefix, b, ab, 5 * net::kSecond);
+  network.clear_misconfiguration(prefix, b, 6 * net::kMinute);
+
+  // Steady trickle of traffic to the prefix for 7 simulated minutes.
+  for (int i = 0; i < 7 * 60; ++i) {
+    network.inject(
+        net::make_udp_packet(net::Ipv4Addr(198, 51, 100, 5),
+                             net::Ipv4Addr(203, 0, 113, 9), 1000, 53, 64, 64,
+                             static_cast<std::uint16_t>(i)),
+        104, a, i * net::kSecond);
+  }
+  network.run_all();
+
+  const auto result = detect_loops(network.tap_trace(tap));
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_GE(result.loops[0].duration(), 5 * net::kMinute);
+
+  const auto& trace = network.tap_trace(tap);
+  const auto classified =
+      classify_loops(result.loops, trace.records().back().ts);
+  EXPECT_EQ(classified.persistent, 1u);
+  EXPECT_EQ(classified.transient, 0u);
+
+  // The control log carries the misconfiguration events.
+  bool saw_set = false, saw_clear = false;
+  for (const auto& ev : network.control_log()) {
+    if (ev.kind == sim::ControlEvent::Kind::misconfig_set) saw_set = true;
+    if (ev.kind == sim::ControlEvent::Kind::misconfig_clear) saw_clear = true;
+  }
+  EXPECT_TRUE(saw_set);
+  EXPECT_TRUE(saw_clear);
+}
+
+}  // namespace
+}  // namespace rloop::core

@@ -1,0 +1,81 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rloop::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(300, [&] { order.push_back(3); });
+  queue.schedule(100, [&] { order.push_back(1); });
+  queue.schedule(200, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 300);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(100, [&] { order.push_back(1); });
+  queue.schedule(200, [&] { order.push_back(2); });
+  queue.schedule(301, [&] { order.push_back(3); });
+  queue.run_until(200);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.now(), 200);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(400);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(queue.now(), 400);  // advances to the requested time
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) queue.schedule_in(10, chain);
+  };
+  queue.schedule(0, chain);
+  queue.run_all();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.now(), 40);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue queue;
+  queue.schedule(100, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule(99, [] {}), std::invalid_argument);
+  // Scheduling exactly at now() is allowed.
+  queue.schedule(100, [] {});
+  queue.run_all();
+}
+
+TEST(EventQueue, ScheduleAtNowRunsAfterCurrentEvent) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&] {
+    order.push_back(1);
+    queue.schedule(10, [&] { order.push_back(2); });
+  });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace rloop::sim

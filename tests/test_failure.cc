@@ -1,0 +1,137 @@
+#include "sim/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace rloop::sim {
+namespace {
+
+using net::Prefix;
+
+FailurePlanConfig base_config() {
+  FailurePlanConfig cfg;
+  cfg.candidate_links = {0, 1, 2};
+  cfg.candidate_prefixes = {*Prefix::parse("10.1.0.0/24"),
+                            *Prefix::parse("10.2.0.0/24")};
+  cfg.start = net::kSecond;
+  cfg.horizon = 100 * net::kSecond;
+  return cfg;
+}
+
+TEST(FailurePlan, GeneratesRequestedCounts) {
+  auto cfg = base_config();
+  cfg.link_event_count = 5;
+  cfg.bgp_event_count = 4;
+  util::Rng rng(1);
+  const auto plan = make_failure_plan(cfg, rng);
+  EXPECT_EQ(plan.link_events.size(), 5u);
+  EXPECT_EQ(plan.bgp_events.size(), 4u);  // batch mean 1 -> one per event
+}
+
+TEST(FailurePlan, EventTimesWithinWindowAndSorted) {
+  auto cfg = base_config();
+  cfg.link_event_count = 20;
+  cfg.bgp_event_count = 20;
+  util::Rng rng(2);
+  const auto plan = make_failure_plan(cfg, rng);
+  for (std::size_t i = 0; i < plan.link_events.size(); ++i) {
+    const auto& ev = plan.link_events[i];
+    EXPECT_GE(ev.fail_at, cfg.start);
+    EXPECT_LE(ev.fail_at, cfg.horizon);
+    EXPECT_GT(ev.restore_at, ev.fail_at);
+    if (i > 0) {
+      EXPECT_GE(ev.fail_at, plan.link_events[i - 1].fail_at);
+    }
+  }
+  for (std::size_t i = 0; i < plan.bgp_events.size(); ++i) {
+    const auto& ev = plan.bgp_events[i];
+    EXPECT_GE(ev.withdraw_at, cfg.start);
+    EXPECT_GT(ev.reannounce_at, ev.withdraw_at);
+    if (i > 0) {
+      EXPECT_GE(ev.withdraw_at, plan.bgp_events[i - 1].withdraw_at);
+    }
+  }
+}
+
+TEST(FailurePlan, BatchingWithdrawsSeveralPrefixesAtOnce) {
+  auto cfg = base_config();
+  cfg.bgp_event_count = 10;
+  cfg.bgp_batch_mean = 4.0;
+  util::Rng rng(3);
+  const auto plan = make_failure_plan(cfg, rng);
+  EXPECT_GT(plan.bgp_events.size(), 10u);
+  // Batched events share withdraw times; count distinct times.
+  std::size_t distinct = 0;
+  net::TimeNs last = -1;
+  for (const auto& ev : plan.bgp_events) {
+    if (ev.withdraw_at != last) {
+      ++distinct;
+      last = ev.withdraw_at;
+    }
+  }
+  EXPECT_LE(distinct, 10u);
+}
+
+TEST(FailurePlan, DeterministicGivenSeed) {
+  auto cfg = base_config();
+  cfg.link_event_count = 8;
+  cfg.bgp_event_count = 8;
+  util::Rng rng1(7), rng2(7);
+  const auto p1 = make_failure_plan(cfg, rng1);
+  const auto p2 = make_failure_plan(cfg, rng2);
+  ASSERT_EQ(p1.link_events.size(), p2.link_events.size());
+  for (std::size_t i = 0; i < p1.link_events.size(); ++i) {
+    EXPECT_EQ(p1.link_events[i].link, p2.link_events[i].link);
+    EXPECT_EQ(p1.link_events[i].fail_at, p2.link_events[i].fail_at);
+  }
+}
+
+TEST(FailurePlan, ValidatesConfiguration) {
+  util::Rng rng(1);
+  auto cfg = base_config();
+  cfg.link_event_count = 1;
+  cfg.candidate_links.clear();
+  EXPECT_THROW(make_failure_plan(cfg, rng), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.bgp_event_count = 1;
+  cfg.candidate_prefixes.clear();
+  EXPECT_THROW(make_failure_plan(cfg, rng), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.horizon = cfg.start;
+  EXPECT_THROW(make_failure_plan(cfg, rng), std::invalid_argument);
+}
+
+TEST(FailurePlan, ApplySchedulesLinkOutage) {
+  // Two-node network with one link; the plan takes it down and back up.
+  routing::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto ab = topo.add_link(a, b, net::kMillisecond, 1e9, 100, 1);
+  Network network(topo, 1, {});
+  network.attach_external_route({*Prefix::parse("203.0.113.0/24"), {b}});
+  network.install_all_routes();
+
+  FailurePlan plan;
+  plan.link_events.push_back({ab, net::kSecond, 5 * net::kSecond});
+  plan.apply(network);
+
+  auto probe = [&](net::TimeNs t) {
+    return network.inject(
+        net::make_udp_packet(net::Ipv4Addr(10, 255, 0, 0),
+                             net::Ipv4Addr(203, 0, 113, 1), 1, 2, 10, 64,
+                             static_cast<std::uint16_t>(t / 1000)),
+        60, a, t);
+  };
+  const auto before = probe(net::kMillisecond * 500);
+  const auto during = probe(net::kSecond * 2);
+  const auto after = probe(net::kSecond * 30);
+  network.run_all();
+
+  EXPECT_EQ(network.fates().at(before).kind, FateKind::delivered);
+  EXPECT_NE(network.fates().at(during).kind, FateKind::delivered);
+  EXPECT_EQ(network.fates().at(after).kind, FateKind::delivered);
+}
+
+}  // namespace
+}  // namespace rloop::sim

@@ -1,0 +1,136 @@
+// Fuzz-style robustness tests: untrusted bytes must never crash parsers or
+// the detector (network data is hostile input).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/loop_detector.h"
+#include "core/replica_key.h"
+#include "core/streaming_detector.h"
+#include "net/packet.h"
+#include "net/pcap.h"
+#include "util/random.h"
+
+namespace rloop {
+namespace {
+
+std::vector<std::byte> random_bytes(util::Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_u64());
+  return out;
+}
+
+TEST(Fuzz, ParsePacketNeverCrashes) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    auto bytes = random_bytes(rng, n);
+    // Bias half the inputs toward "almost valid": version 4, IHL 5.
+    if (!bytes.empty() && rng.bernoulli(0.5)) bytes[0] = std::byte{0x45};
+    const auto parsed = net::parse_packet(bytes);
+    if (parsed) {
+      // Whatever parsed must be internally consistent enough to reserialize.
+      std::array<std::byte, net::kMaxHeaderBytes> buf{};
+      EXPECT_NO_THROW(net::serialize_packet(*parsed, buf));
+    }
+  }
+}
+
+TEST(Fuzz, ReplicaKeyHandlesArbitraryBytes) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const auto bytes = random_bytes(rng, n);
+    const auto key = core::make_replica_key(bytes);
+    EXPECT_EQ(key.len, n);
+    // Identical input -> identical key, regardless of content.
+    EXPECT_EQ(key, core::make_replica_key(bytes));
+  }
+}
+
+TEST(Fuzz, DetectorSurvivesGarbageTrace) {
+  util::Rng rng(3);
+  net::Trace trace("garbage", 0);
+  net::TimeNs t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 45));
+    auto bytes = random_bytes(rng, n);
+    if (!bytes.empty() && rng.bernoulli(0.6)) bytes[0] = std::byte{0x45};
+    trace.add(t, bytes, static_cast<std::uint32_t>(n));
+    t += static_cast<net::TimeNs>(rng.uniform_int(0, 1'000'000));
+  }
+  const auto result = core::detect_loops(trace);
+  EXPECT_EQ(result.total_records, 5000u);
+  // Random bytes should essentially never produce validated loops: a loop
+  // needs >= 3 byte-identical records with decrementing TTLs.
+  EXPECT_EQ(result.loops.size(), 0u);
+}
+
+TEST(Fuzz, StreamingDetectorSurvivesGarbage) {
+  util::Rng rng(4);
+  core::StreamingDetector detector({}, nullptr);
+  net::TimeNs t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 45));
+    auto bytes = random_bytes(rng, n);
+    if (!bytes.empty() && rng.bernoulli(0.6)) bytes[0] = std::byte{0x45};
+    detector.on_packet(t, bytes);
+    t += static_cast<net::TimeNs>(rng.uniform_int(0, 100'000));
+  }
+  EXPECT_EQ(detector.packets_seen(), 20000u);
+}
+
+TEST(Fuzz, PcapReaderRejectsGarbageFilesGracefully) {
+  util::Rng rng(5);
+  const auto dir = std::filesystem::temp_directory_path();
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto path =
+        (dir / ("rloop_fuzz_" + std::to_string(trial) + ".pcap")).string();
+    {
+      std::ofstream out(path, std::ios::binary);
+      const auto n = static_cast<std::size_t>(rng.uniform_int(0, 400));
+      auto bytes = random_bytes(rng, n);
+      // Half the trials get a valid magic so the reader goes deeper.
+      if (n >= 4 && rng.bernoulli(0.5)) {
+        bytes[0] = std::byte{0xd4};
+        bytes[1] = std::byte{0xc3};
+        bytes[2] = std::byte{0xb2};
+        bytes[3] = std::byte{0xa1};
+      }
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    // Must either parse (possibly zero records) or throw cleanly.
+    try {
+      const auto trace = net::read_pcap(path);
+      (void)trace;
+    } catch (const std::runtime_error&) {
+      // expected for malformed files
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(Fuzz, SampleTraceBounds) {
+  net::Trace trace("t", 0);
+  const auto pkt = net::make_udp_packet(net::Ipv4Addr(1, 2, 3, 4),
+                                        net::Ipv4Addr(5, 6, 7, 8), 1, 2, 10,
+                                        64, 1);
+  for (int i = 0; i < 10000; ++i) trace.add(i, pkt, 50);
+
+  EXPECT_EQ(net::sample_trace(trace, 1.0, 9).size(), 10000u);
+  EXPECT_EQ(net::sample_trace(trace, 0.0, 9).size(), 0u);
+  const auto half = net::sample_trace(trace, 0.5, 9);
+  EXPECT_NEAR(static_cast<double>(half.size()), 5000.0, 300.0);
+  // Deterministic.
+  EXPECT_EQ(net::sample_trace(trace, 0.5, 9).size(), half.size());
+  // Order preserved.
+  for (std::size_t i = 1; i < half.size(); ++i) {
+    EXPECT_GE(half[i].ts, half[i - 1].ts);
+  }
+  EXPECT_THROW(net::sample_trace(trace, 1.5, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rloop

@@ -1,0 +1,78 @@
+#include "core/impact.h"
+
+#include <gtest/gtest.h>
+
+#include "trace_builder.h"
+
+namespace rloop::core {
+namespace {
+
+using net::Ipv4Addr;
+using rloop::testing::TraceBuilder;
+
+TEST(Impact, ClassifiesExpiredStream) {
+  TraceBuilder builder;
+  // TTL runs 60, 58, ..., 2: the next traversal would hit 0 -> expired.
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 1), 60, 1, 30, 2, 1000);
+  const auto impact = estimate_impact(detect_loops(builder.trace()));
+  EXPECT_EQ(impact.looped_streams, 1u);
+  EXPECT_EQ(impact.expired_in_loop, 1u);
+  EXPECT_EQ(impact.escape_candidates, 0u);
+  EXPECT_DOUBLE_EQ(impact.escape_fraction(), 0.0);
+  EXPECT_EQ(impact.loop_loss_per_minute.total(), 30u);
+}
+
+TEST(Impact, ClassifiesEscapeCandidate) {
+  TraceBuilder builder;
+  // Replicas stop at TTL 40: plenty of TTL left, the loop must have healed.
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 1), 60, 1, 11, 2,
+                         5 * net::kMillisecond);
+  const auto impact = estimate_impact(detect_loops(builder.trace()));
+  EXPECT_EQ(impact.looped_streams, 1u);
+  EXPECT_EQ(impact.expired_in_loop, 0u);
+  EXPECT_EQ(impact.escape_candidates, 1u);
+  EXPECT_DOUBLE_EQ(impact.escape_fraction(), 1.0);
+  // It demonstrably looped for 50 ms before escaping.
+  ASSERT_EQ(impact.escape_extra_delay_ms.size(), 1u);
+  EXPECT_NEAR(impact.escape_extra_delay_ms.min(), 50.0, 1e-9);
+}
+
+TEST(Impact, MixedStreamsFractions) {
+  TraceBuilder builder;
+  // Two expiring, two escaping.
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 1), 60, 1, 30, 2, 1000);
+  builder.replica_stream(net::kSecond, Ipv4Addr(198, 18, 0, 1), 60, 2, 30, 2,
+                         1000);
+  builder.replica_stream(2 * net::kSecond, Ipv4Addr(198, 19, 0, 1), 60, 3, 5,
+                         2, 1000);
+  builder.replica_stream(3 * net::kSecond, Ipv4Addr(198, 20, 0, 1), 60, 4, 5,
+                         2, 1000);
+  const auto impact = estimate_impact(detect_loops(builder.trace()));
+  EXPECT_EQ(impact.looped_streams, 4u);
+  EXPECT_EQ(impact.expired_in_loop, 2u);
+  EXPECT_EQ(impact.escape_candidates, 2u);
+  EXPECT_DOUBLE_EQ(impact.escape_fraction(), 0.5);
+}
+
+TEST(Impact, LossBinnedPerMinute) {
+  TraceBuilder builder;
+  // One expiring stream in minute 0, one in minute 2.
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 1), 8, 1, 4, 2, 1000);
+  builder.replica_stream(125 * net::kSecond, Ipv4Addr(198, 18, 0, 1), 8, 2, 4,
+                         2, 1000);
+  const auto impact = estimate_impact(detect_loops(builder.trace()));
+  ASSERT_EQ(impact.loop_loss_per_minute.bins().size(), 3u);
+  EXPECT_EQ(impact.loop_loss_per_minute.bins()[0], 4u);
+  EXPECT_EQ(impact.loop_loss_per_minute.bins()[1], 0u);
+  EXPECT_EQ(impact.loop_loss_per_minute.bins()[2], 4u);
+}
+
+TEST(Impact, EmptyResult) {
+  net::Trace trace("empty", 0);
+  const auto impact = estimate_impact(detect_loops(trace));
+  EXPECT_EQ(impact.looped_streams, 0u);
+  EXPECT_DOUBLE_EQ(impact.escape_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace rloop::core

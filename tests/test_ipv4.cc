@@ -1,0 +1,152 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace rloop::net {
+namespace {
+
+TEST(Ipv4Addr, FormatsDottedQuad) {
+  EXPECT_EQ(Ipv4Addr(192, 168, 0, 1).to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4Addr(0, 0, 0, 0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+struct AddrCase {
+  const char* text;
+  bool valid;
+  std::uint32_t value;
+};
+
+class AddrParse : public ::testing::TestWithParam<AddrCase> {};
+
+TEST_P(AddrParse, ParsesOrRejects) {
+  const auto& c = GetParam();
+  const auto parsed = Ipv4Addr::parse(c.text);
+  if (c.valid) {
+    ASSERT_TRUE(parsed.has_value()) << c.text;
+    EXPECT_EQ(parsed->value, c.value);
+    EXPECT_EQ(parsed->to_string(), c.text);  // canonical roundtrip
+  } else {
+    EXPECT_FALSE(parsed.has_value()) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AddrParse,
+    ::testing::Values(
+        AddrCase{"1.2.3.4", true, 0x01020304},
+        AddrCase{"0.0.0.0", true, 0},
+        AddrCase{"255.255.255.255", true, 0xffffffff},
+        AddrCase{"10.255.0.7", true, 0x0aff0007},
+        AddrCase{"256.1.1.1", false, 0}, AddrCase{"1.2.3", false, 0},
+        AddrCase{"1.2.3.4.5", false, 0}, AddrCase{"", false, 0},
+        AddrCase{"a.b.c.d", false, 0}, AddrCase{"1..2.3", false, 0},
+        AddrCase{"1.2.3.4 ", false, 0}, AddrCase{"0001.2.3.4", false, 0},
+        AddrCase{"-1.2.3.4", false, 0}));
+
+TEST(Ipv4Header, SerializeParseRoundtrip) {
+  Ipv4Header h;
+  h.tos = 0xb8;
+  h.total_length = 1480;
+  h.id = 0xbeef;
+  h.dont_fragment = true;
+  h.more_fragments = false;
+  h.fragment_offset = 0;
+  h.ttl = 61;
+  h.protocol = 6;
+  h.src = Ipv4Addr(198, 51, 100, 7);
+  h.dst = Ipv4Addr(203, 0, 113, 99);
+  h.checksum = h.compute_checksum();
+
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  h.serialize(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+  EXPECT_TRUE(parsed->checksum_valid());
+}
+
+TEST(Ipv4Header, FragmentFieldsRoundtrip) {
+  Ipv4Header h;
+  h.total_length = 60;
+  h.more_fragments = true;
+  h.fragment_offset = 0x1abc;
+  h.ttl = 10;
+  h.protocol = 17;
+
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  h.serialize(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->more_fragments);
+  EXPECT_FALSE(parsed->dont_fragment);
+  EXPECT_EQ(parsed->fragment_offset, 0x1abc);
+}
+
+TEST(Ipv4Header, RejectsShortBuffer) {
+  std::array<std::byte, kIpv4HeaderSize - 1> buf{};
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, RejectsWrongVersion) {
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  buf[0] = std::byte{0x65};  // version 6
+  buf[2] = std::byte{0};
+  buf[3] = std::byte{20};
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, RejectsIhlBelowFive) {
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  buf[0] = std::byte{0x44};  // version 4, IHL 4
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, RejectsTotalLengthBelowHeader) {
+  Ipv4Header h;
+  h.total_length = 10;  // < 20
+  h.ttl = 1;
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  h.serialize(buf);
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, ParsesHeaderWithOptionsWhenCaptured) {
+  // IHL 6 (24 bytes). Build manually.
+  std::array<std::byte, 24> buf{};
+  buf[0] = std::byte{0x46};
+  buf[2] = std::byte{0};
+  buf[3] = std::byte{40};  // total length 40
+  buf[8] = std::byte{5};   // ttl
+  buf[9] = std::byte{6};   // proto
+  std::size_t header_len = 0;
+  const auto parsed = Ipv4Header::parse(buf, &header_len);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(header_len, 24u);
+  EXPECT_EQ(parsed->ttl, 5);
+}
+
+TEST(Ipv4Header, RejectsOptionsBeyondCapture) {
+  // IHL 8 (32 bytes) but only 20 captured.
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  buf[0] = std::byte{0x48};
+  EXPECT_FALSE(Ipv4Header::parse(buf).has_value());
+}
+
+TEST(Ipv4Header, ChecksumDetectsCorruption) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.ttl = 64;
+  h.protocol = 6;
+  h.src = Ipv4Addr(1, 2, 3, 4);
+  h.dst = Ipv4Addr(5, 6, 7, 8);
+  h.checksum = h.compute_checksum();
+  EXPECT_TRUE(h.checksum_valid());
+  h.ttl = 63;  // field changed without checksum update
+  EXPECT_FALSE(h.checksum_valid());
+}
+
+}  // namespace
+}  // namespace rloop::net

@@ -1,0 +1,147 @@
+#include "core/loop_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/network.h"
+#include "trace_builder.h"
+#include "trafficgen/flow.h"
+
+namespace rloop::core {
+namespace {
+
+using net::Ipv4Addr;
+using rloop::testing::TraceBuilder;
+
+TEST(LoopDetector, EndToEndOnSyntheticTrace) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  // Background traffic to other prefixes.
+  for (int i = 0; i < 100; ++i) {
+    builder.packet(i * 10'000, Ipv4Addr(198, 18, 0, 5),
+                   64, static_cast<std::uint16_t>(i));
+  }
+  builder.replica_stream(500'000, dst, 60, 777, 8, 2, net::kMillisecond);
+
+  const auto result = detect_loops(builder.trace());
+  EXPECT_EQ(result.total_records, 108u);
+  EXPECT_EQ(result.parse_failures, 0u);
+  EXPECT_EQ(result.raw_streams.size(), 1u);
+  EXPECT_EQ(result.valid_streams.size(), 1u);
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_EQ(result.looped_packet_records(), 8u);
+  EXPECT_EQ(result.looped_unique_packets(), 1u);
+  EXPECT_EQ(result.validation.accepted, 1u);
+}
+
+TEST(LoopDetector, CountsParseFailures) {
+  TraceBuilder builder;
+  builder.packet(0, Ipv4Addr(1, 2, 3, 4), 64, 1);
+  builder.raw(1000, std::vector<std::byte>(10));
+  const auto result = detect_loops(builder.trace());
+  EXPECT_EQ(result.total_records, 2u);
+  EXPECT_EQ(result.parse_failures, 1u);
+}
+
+TEST(LoopDetector, EmptyTrace) {
+  net::Trace trace("empty", 0);
+  const auto result = detect_loops(trace);
+  EXPECT_EQ(result.total_records, 0u);
+  EXPECT_TRUE(result.loops.empty());
+}
+
+// Integration: simulate the Figure-1 scenario and check the detector's
+// output against simulator ground truth.
+TEST(LoopDetector, RecoversSimulatedBgpLoop) {
+  routing::Topology topo;
+  const auto r = topo.add_node("R");
+  const auto r1 = topo.add_node("R1");
+  const auto r2 = topo.add_node("R2");
+  topo.add_link(r, r1, net::from_millis(0.5), 1e9, 200, 1);
+  const auto r_r2 = topo.add_link(r, r2, net::from_millis(0.5), 1e9, 200, 1);
+  topo.add_link(r1, r2, net::from_millis(0.5), 1e9, 200, 1);
+
+  sim::NetworkConfig cfg;
+  cfg.bgp.mrai_max = 2 * net::kSecond;
+  sim::Network network(topo, 42, cfg);
+  const auto dst_prefix = *net::Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({dst_prefix, {r, r2}});
+  network.attach_external_route({*net::Prefix::parse("198.51.100.0/24"), {r1}});
+  network.install_all_routes();
+  const auto tap = network.add_tap(r_r2, r, "tap", 0);
+
+  util::Rng rng(7);
+  trafficgen::FlowSpec flow;
+  flow.type = trafficgen::FlowType::udp;
+  flow.src = Ipv4Addr(198, 51, 100, 10);
+  flow.dst = Ipv4Addr(203, 0, 113, 25);
+  flow.src_port = 40000;
+  flow.dst_port = 53;
+  flow.packet_count = 3000;
+  flow.start = net::kSecond;
+  flow.mean_gap = net::kMillisecond;
+  flow.initial_ttl = 64;
+  flow.ingress = r1;
+  trafficgen::emit_flow(network, flow, rng);
+  network.withdraw_best_egress(dst_prefix, 2 * net::kSecond);
+  network.run_until(10 * net::kSecond);
+
+  const auto result = detect_loops(network.tap_trace(tap));
+  ASSERT_FALSE(result.loops.empty());
+  EXPECT_EQ(result.loops.size(), 1u);
+  const auto& loop = result.loops.front();
+  EXPECT_EQ(loop.prefix24, dst_prefix);
+  EXPECT_EQ(loop.ttl_delta, 2);
+
+  // The detected interval must lie within the ground-truth loop interval.
+  ASSERT_FALSE(network.loop_crossings().empty());
+  net::TimeNs truth_start = network.loop_crossings().front().time;
+  net::TimeNs truth_end = network.loop_crossings().back().time;
+  EXPECT_GE(loop.start, truth_start - net::kSecond);
+  EXPECT_LE(loop.end, truth_end + net::kSecond);
+
+  // TTL-64 packets in a delta-2 loop leave ~30 replicas (paper Figure 3).
+  const auto& stream = result.valid_streams.front();
+  EXPECT_GE(stream.size(), 25u);
+  EXPECT_LE(stream.size(), 33u);
+}
+
+TEST(LoopDetector, NoFalsePositivesOnLoopFreeSimulation) {
+  routing::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  topo.add_link(a, b, net::kMillisecond, 1e9, 500, 1);
+  const auto bc = topo.add_link(b, c, net::kMillisecond, 1e9, 500, 1);
+
+  sim::Network network(topo, 5, {});
+  network.attach_external_route({*net::Prefix::parse("203.0.113.0/24"), {c}});
+  network.attach_external_route({*net::Prefix::parse("198.51.100.0/24"), {a}});
+  network.install_all_routes();
+  const auto tap = network.add_tap(bc, b, "tap", 0);
+
+  util::Rng rng(11);
+  for (int f = 0; f < 50; ++f) {
+    trafficgen::FlowSpec flow;
+    flow.type = f % 3 == 0 ? trafficgen::FlowType::tcp
+                           : trafficgen::FlowType::udp;
+    flow.src = Ipv4Addr(198, 51, 100, static_cast<std::uint8_t>(f + 1));
+    flow.dst = Ipv4Addr(203, 0, 113, static_cast<std::uint8_t>(f + 1));
+    flow.src_port = static_cast<std::uint16_t>(10000 + f);
+    flow.dst_port = 80;
+    flow.packet_count = 40;
+    flow.start = f * 10 * net::kMillisecond;
+    flow.ingress = a;
+    flow.first_ip_id = static_cast<std::uint16_t>(f * 1000);
+    trafficgen::emit_flow(network, flow, rng);
+  }
+  network.run_all();
+
+  const auto result = detect_loops(network.tap_trace(tap));
+  EXPECT_EQ(network.stats().loop_crossings, 0u);
+  EXPECT_TRUE(result.loops.empty());
+  EXPECT_TRUE(result.valid_streams.empty());
+}
+
+}  // namespace
+}  // namespace rloop::core

@@ -1,0 +1,152 @@
+#include "routing/lpm_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "util/random.h"
+
+namespace rloop::routing {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(LpmTrie, EmptyLookupFails) {
+  LpmTrie trie;
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(1, 2, 3, 4)).has_value());
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(LpmTrie, DefaultRouteMatchesEverything) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr{0}, 0), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 2, 3, 4)), 99u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 0, 0, 1)), 99u);
+}
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  trie.insert(Prefix::of(Ipv4Addr(10, 1, 2, 0), 24), 3);
+  trie.insert(Prefix::of(Ipv4Addr(10, 1, 2, 3), 32), 4);
+
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 9, 9, 9)), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 9, 9)), 2u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 9)), 3u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 4u);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(11, 0, 0, 0)).has_value());
+}
+
+TEST(LpmTrie, LookupEntryReportsMatchedPrefix) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  const auto entry = trie.lookup_entry(Ipv4Addr(10, 1, 2, 3));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, Prefix::of(Ipv4Addr(10, 1, 0, 0), 16));
+  EXPECT_EQ(entry->second, 2u);
+}
+
+TEST(LpmTrie, InsertOverwrites) {
+  LpmTrie trie;
+  const auto p = Prefix::of(Ipv4Addr(10, 0, 0, 0), 8);
+  trie.insert(p, 1);
+  trie.insert(p, 7);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 7u);
+}
+
+TEST(LpmTrie, RemoveRestoresShorterMatch) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  EXPECT_TRUE(trie.remove(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16)));
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 1u);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(LpmTrie, RemoveMissingReturnsFalse) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  EXPECT_FALSE(trie.remove(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16)));
+  EXPECT_FALSE(trie.remove(Prefix::of(Ipv4Addr(11, 0, 0, 0), 8)));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(LpmTrie, FindExactIgnoresLpm) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  EXPECT_EQ(trie.find_exact(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8)), 1u);
+  EXPECT_FALSE(
+      trie.find_exact(Prefix::of(Ipv4Addr(10, 1, 0, 0), 16)).has_value());
+}
+
+TEST(LpmTrie, ClearEmptiesEverything) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix::of(Ipv4Addr(20, 0, 0, 0), 8), 2);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(10, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTrie, EntriesAreSorted) {
+  LpmTrie trie;
+  trie.insert(Prefix::of(Ipv4Addr(20, 0, 0, 0), 8), 3);
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 16), 2);
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, Prefix::of(Ipv4Addr(10, 0, 0, 0), 8));
+  EXPECT_EQ(entries[1].first, Prefix::of(Ipv4Addr(10, 0, 0, 0), 16));
+  EXPECT_EQ(entries[2].first, Prefix::of(Ipv4Addr(20, 0, 0, 0), 8));
+}
+
+// Property test: the trie agrees with a brute-force reference on random
+// inserts/removes/lookups.
+class LpmRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmRandomized, AgreesWithBruteForce) {
+  util::Rng rng(GetParam());
+  LpmTrie trie;
+  std::map<Prefix, std::uint32_t> reference;
+
+  auto brute_force = [&](Ipv4Addr addr) -> std::optional<std::uint32_t> {
+    std::optional<std::uint32_t> best;
+    int best_len = -1;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) && prefix.len > best_len) {
+        best = value;
+        best_len = prefix.len;
+      }
+    }
+    return best;
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    const auto addr =
+        Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())};
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 32));
+    const auto prefix = Prefix::of(addr, len);
+    const double action = rng.uniform();
+    if (action < 0.55) {
+      const auto value = static_cast<std::uint32_t>(rng.next_u64());
+      trie.insert(prefix, value);
+      reference[prefix] = value;
+    } else if (action < 0.75) {
+      EXPECT_EQ(trie.remove(prefix), reference.erase(prefix) > 0);
+    }
+    const auto probe = Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())};
+    ASSERT_EQ(trie.lookup(probe), brute_force(probe)) << "op " << op;
+    ASSERT_EQ(trie.size(), reference.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmRandomized,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace rloop::routing

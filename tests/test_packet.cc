@@ -1,0 +1,143 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/checksum.h"
+
+namespace rloop::net {
+namespace {
+
+const Ipv4Addr kSrc(198, 51, 100, 10);
+const Ipv4Addr kDst(203, 0, 113, 20);
+
+TEST(MakeTcpPacket, FieldsAndChecksums) {
+  const auto pkt =
+      make_tcp_packet(kSrc, kDst, 40000, 80, /*seq=*/123, /*ack=*/456,
+                      kTcpSyn, /*payload_len=*/0, /*ttl=*/64, /*ip_id=*/9);
+  EXPECT_EQ(pkt.ip.total_length, kIpv4HeaderSize + kTcpHeaderSize);
+  EXPECT_EQ(pkt.ip.protocol, static_cast<std::uint8_t>(IpProto::tcp));
+  EXPECT_TRUE(pkt.ip.checksum_valid());
+  ASSERT_NE(pkt.tcp(), nullptr);
+  EXPECT_TRUE(pkt.tcp()->has(kTcpSyn));
+  EXPECT_EQ(pkt.transport_checksum(), pkt.tcp()->checksum);
+}
+
+TEST(MakeUdpPacket, LengthIncludesPayload) {
+  const auto pkt = make_udp_packet(kSrc, kDst, 1111, 53, /*payload_len=*/100,
+                                   /*ttl=*/128, /*ip_id=*/10);
+  EXPECT_EQ(pkt.ip.total_length, kIpv4HeaderSize + kUdpHeaderSize + 100);
+  ASSERT_NE(pkt.udp(), nullptr);
+  EXPECT_EQ(pkt.udp()->length, kUdpHeaderSize + 100);
+  EXPECT_TRUE(pkt.ip.checksum_valid());
+  EXPECT_NE(pkt.udp()->checksum, 0);  // RFC 768: 0 means "no checksum"
+}
+
+TEST(MakeIcmpPacket, EchoRequestFields) {
+  const auto pkt =
+      make_icmp_packet(kSrc, kDst, IcmpType::echo_request, 0,
+                       /*rest=*/0x00070001, /*payload_len=*/56, 64, 11);
+  ASSERT_NE(pkt.icmp(), nullptr);
+  EXPECT_EQ(pkt.icmp()->type, 8);
+  EXPECT_EQ(pkt.ip.total_length, kIpv4HeaderSize + kIcmpHeaderSize + 56);
+  EXPECT_TRUE(pkt.ip.checksum_valid());
+}
+
+TEST(SerializeParse, TcpRoundtrip) {
+  const auto pkt = make_tcp_packet(kSrc, kDst, 40000, 80, 1, 2,
+                                   kTcpAck | kTcpPsh, 512, 60, 77);
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  const auto n = serialize_packet(pkt, buf);
+  EXPECT_EQ(n, kIpv4HeaderSize + kTcpHeaderSize);
+  const auto parsed = parse_packet(std::span<const std::byte>(buf.data(), n));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST(SerializeParse, UdpRoundtrip) {
+  const auto pkt = make_udp_packet(kSrc, kDst, 1234, 4321, 64, 32, 5);
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  const auto n = serialize_packet(pkt, buf);
+  EXPECT_EQ(n, kIpv4HeaderSize + kUdpHeaderSize);
+  const auto parsed = parse_packet(std::span<const std::byte>(buf.data(), n));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST(SerializeParse, IcmpRoundtrip) {
+  const auto pkt =
+      make_icmp_packet(kSrc, kDst, IcmpType::time_exceeded, 0, 0, 28, 255, 3);
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  const auto n = serialize_packet(pkt, buf);
+  EXPECT_EQ(n, kIpv4HeaderSize + kIcmpHeaderSize);
+  const auto parsed = parse_packet(std::span<const std::byte>(buf.data(), n));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST(SerializePacket, ThrowsOnSmallBuffer) {
+  const auto pkt = make_tcp_packet(kSrc, kDst, 1, 2, 0, 0, 0, 0, 64, 1);
+  std::array<std::byte, kIpv4HeaderSize> buf{};  // too small for IP+TCP
+  EXPECT_THROW(serialize_packet(pkt, buf), std::invalid_argument);
+}
+
+TEST(ParsePacket, UnknownProtocolYieldsMonostate) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.ttl = 12;
+  h.protocol = 47;  // GRE: not decoded
+  h.checksum = h.compute_checksum();
+  std::array<std::byte, kIpv4HeaderSize> buf{};
+  h.serialize(buf);
+  const auto parsed = parse_packet(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tcp(), nullptr);
+  EXPECT_EQ(parsed->udp(), nullptr);
+  EXPECT_EQ(parsed->icmp(), nullptr);
+  EXPECT_FALSE(parsed->transport_checksum().has_value());
+}
+
+TEST(ParsePacket, NonFirstFragmentHasNoTransport) {
+  auto pkt = make_udp_packet(kSrc, kDst, 1, 2, 500, 64, 6);
+  pkt.ip.fragment_offset = 100;
+  pkt.ip.checksum = pkt.ip.compute_checksum();
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  const auto n = serialize_packet(pkt, buf);
+  const auto parsed = parse_packet(std::span<const std::byte>(buf.data(), n));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->udp(), nullptr);  // offset != 0: bytes are payload
+}
+
+TEST(ParsePacket, TruncatedTransportYieldsMonostate) {
+  const auto pkt = make_tcp_packet(kSrc, kDst, 1, 2, 0, 0, kTcpSyn, 0, 64, 1);
+  std::array<std::byte, kMaxHeaderBytes> buf{};
+  serialize_packet(pkt, buf);
+  // Only 30 bytes captured: full IP header, partial TCP.
+  const auto parsed =
+      parse_packet(std::span<const std::byte>(buf.data(), 30));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tcp(), nullptr);
+}
+
+TEST(ParsePacket, RejectsGarbage) {
+  std::array<std::byte, 8> buf{};
+  EXPECT_FALSE(parse_packet(buf).has_value());
+}
+
+TEST(FinalizeTransportChecksum, DeterministicAcrossCalls) {
+  auto a = make_tcp_packet(kSrc, kDst, 1, 2, 3, 4, kTcpAck, 100, 64, 42);
+  auto b = a;
+  finalize_transport_checksum(a);
+  finalize_transport_checksum(b);
+  EXPECT_EQ(a.tcp()->checksum, b.tcp()->checksum);
+}
+
+TEST(FinalizeTransportChecksum, PayloadLengthAffectsChecksum) {
+  const auto a = make_udp_packet(kSrc, kDst, 1, 2, 10, 64, 1);
+  const auto b = make_udp_packet(kSrc, kDst, 1, 2, 11, 64, 1);
+  EXPECT_NE(a.udp()->checksum, b.udp()->checksum);
+}
+
+}  // namespace
+}  // namespace rloop::net

@@ -1,0 +1,233 @@
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/time.h"
+
+namespace rloop::net {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rloop_pcap_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+ParsedPacket sample_packet(std::uint8_t ttl, std::uint16_t id) {
+  return make_udp_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(203, 0, 113, 5),
+                         1234, 53, 64, ttl, id);
+}
+
+TEST_F(PcapTest, WriteReadRoundtrip) {
+  Trace trace("rt", 1'005'224'400);
+  for (int i = 0; i < 50; ++i) {
+    trace.add(i * kMillisecond + i,  // ns-resolution offsets
+              sample_packet(static_cast<std::uint8_t>(64 - i % 4),
+                            static_cast<std::uint16_t>(i)),
+              92);
+  }
+  write_pcap(trace, path_);
+  const Trace back = read_pcap(path_);
+
+  ASSERT_EQ(back.size(), trace.size());
+  EXPECT_EQ(back.epoch_unix_s(), trace.epoch_unix_s());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].ts, trace[i].ts) << i;
+    EXPECT_EQ(back[i].wire_len, trace[i].wire_len) << i;
+    EXPECT_EQ(back[i].cap_len, trace[i].cap_len) << i;
+    EXPECT_EQ(back[i].data, trace[i].data) << i;
+  }
+}
+
+TEST_F(PcapTest, NanosecondTimestampsPreserved) {
+  Trace trace("ns", 1000);
+  trace.add(123'456'789, sample_packet(64, 1), 92);
+  write_pcap(trace, path_);
+  const Trace back = read_pcap(path_);
+  ASSERT_EQ(back.size(), 1u);
+  // First record's second becomes the epoch; sub-second part is exact.
+  EXPECT_EQ(back.epoch_unix_s() * kSecond + back[0].ts,
+            1000 * kSecond + 123'456'789);
+}
+
+TEST_F(PcapTest, ReadsMicrosecondLittleEndianFiles) {
+  // Hand-build a classic microsecond pcap with one raw-IP record.
+  const auto pkt = sample_packet(60, 7);
+  std::array<std::byte, kMaxHeaderBytes> pkt_buf{};
+  const auto pkt_len = serialize_packet(pkt, pkt_buf);
+
+  std::ofstream out(path_, std::ios::binary);
+  auto le32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out.write(b, 4);
+  };
+  auto le16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+    out.write(b, 2);
+  };
+  le32(kPcapMagicMicros);
+  le16(2);
+  le16(4);
+  le32(0);
+  le32(0);
+  le32(65535);
+  le32(kLinktypeRaw);
+  le32(500);      // seconds
+  le32(250'000);  // microseconds
+  le32(static_cast<std::uint32_t>(pkt_len));
+  le32(static_cast<std::uint32_t>(pkt_len));
+  out.write(reinterpret_cast<const char*>(pkt_buf.data()),
+            static_cast<std::streamsize>(pkt_len));
+  out.close();
+
+  const Trace trace = read_pcap(path_);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.epoch_unix_s(), 500);
+  EXPECT_EQ(trace[0].ts, 250 * kMillisecond);
+  const auto parsed = parse_packet(trace[0].bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST_F(PcapTest, ReadsBigEndianFiles) {
+  const auto pkt = sample_packet(60, 7);
+  std::array<std::byte, kMaxHeaderBytes> pkt_buf{};
+  const auto pkt_len = serialize_packet(pkt, pkt_buf);
+
+  std::ofstream out(path_, std::ios::binary);
+  auto be32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+    out.write(b, 4);
+  };
+  auto be16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v)};
+    out.write(b, 2);
+  };
+  be32(kPcapMagicMicros);
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(65535);
+  be32(kLinktypeRaw);
+  be32(42);
+  be32(1);
+  be32(static_cast<std::uint32_t>(pkt_len));
+  be32(static_cast<std::uint32_t>(pkt_len));
+  out.write(reinterpret_cast<const char*>(pkt_buf.data()),
+            static_cast<std::streamsize>(pkt_len));
+  out.close();
+
+  const Trace trace = read_pcap(path_);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.epoch_unix_s(), 42);
+}
+
+TEST_F(PcapTest, ReadsEthernetFramesAndSkipsNonIpv4) {
+  const auto pkt = sample_packet(61, 8);
+  std::array<std::byte, kMaxHeaderBytes> pkt_buf{};
+  const auto pkt_len = serialize_packet(pkt, pkt_buf);
+
+  std::ofstream out(path_, std::ios::binary);
+  auto le32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out.write(b, 4);
+  };
+  auto le16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+    out.write(b, 2);
+  };
+  le32(kPcapMagicNanos);
+  le16(2);
+  le16(4);
+  le32(0);
+  le32(0);
+  le32(65535);
+  le32(kLinktypeEthernet);
+
+  auto write_frame = [&](std::uint16_t ethertype, bool include_payload) {
+    const std::uint32_t frame_len =
+        14 + (include_payload ? static_cast<std::uint32_t>(pkt_len) : 4);
+    le32(7);
+    le32(0);
+    le32(frame_len);
+    le32(frame_len);
+    char eth[14] = {};
+    eth[12] = static_cast<char>(ethertype >> 8);
+    eth[13] = static_cast<char>(ethertype & 0xff);
+    out.write(eth, 14);
+    if (include_payload) {
+      out.write(reinterpret_cast<const char*>(pkt_buf.data()),
+                static_cast<std::streamsize>(pkt_len));
+    } else {
+      char junk[4] = {1, 2, 3, 4};
+      out.write(junk, 4);
+    }
+  };
+  write_frame(0x0806, false);  // ARP: skipped
+  write_frame(0x0800, true);   // IPv4: kept
+  out.close();
+
+  const Trace trace = read_pcap(path_);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto parsed = parse_packet(trace[0].bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST_F(PcapTest, RejectsBadMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  const char junk[24] = {1, 2, 3};
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_THROW(read_pcap(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, RejectsTruncatedHeader) {
+  std::ofstream out(path_, std::ios::binary);
+  const char junk[10] = {};
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_THROW(read_pcap(path_), std::runtime_error);
+}
+
+TEST_F(PcapTest, RejectsMissingFile) {
+  EXPECT_THROW(read_pcap("/nonexistent/dir/file.pcap"), std::runtime_error);
+  Trace t("x", 0);
+  EXPECT_THROW(write_pcap(t, "/nonexistent/dir/file.pcap"),
+               std::runtime_error);
+}
+
+TEST_F(PcapTest, RejectsTruncatedRecord) {
+  Trace trace("rt", 0);
+  trace.add(0, sample_packet(64, 1), 92);
+  write_pcap(trace, path_);
+  // Chop a few bytes off the end.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+  EXPECT_THROW(read_pcap(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rloop::net

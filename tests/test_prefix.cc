@@ -1,0 +1,103 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rloop::net {
+namespace {
+
+TEST(Prefix, OfMasksHostBits) {
+  const auto p = Prefix::of(Ipv4Addr(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.addr, Ipv4Addr(10, 1, 2, 0));
+  EXPECT_EQ(p.len, 24);
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const auto p = Prefix::of(Ipv4Addr(1, 2, 3, 4), 0);
+  EXPECT_EQ(p.addr.value, 0u);
+  EXPECT_TRUE(p.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(0, 0, 0, 0)));
+}
+
+TEST(Prefix, HostRoute) {
+  const auto p = Prefix::of(Ipv4Addr(10, 0, 0, 1), 32);
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 0, 0, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 0, 0, 2)));
+}
+
+TEST(Prefix, ThrowsOnBadLength) {
+  EXPECT_THROW(Prefix::of(Ipv4Addr{0}, 33), std::invalid_argument);
+}
+
+TEST(Prefix, Contains) {
+  const auto p = Prefix::of(Ipv4Addr(192, 168, 4, 0), 22);
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 4, 1)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 7, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 168, 8, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 168, 3, 255)));
+}
+
+TEST(Prefix, Covers) {
+  const auto p16 = Prefix::of(Ipv4Addr(10, 1, 0, 0), 16);
+  const auto p24 = Prefix::of(Ipv4Addr(10, 1, 2, 0), 24);
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_FALSE(p24.covers(p16));
+  EXPECT_TRUE(p16.covers(p16));
+  EXPECT_FALSE(p16.covers(Prefix::of(Ipv4Addr(10, 2, 0, 0), 24)));
+}
+
+TEST(Prefix, Slash24) {
+  EXPECT_EQ(Prefix::slash24(Ipv4Addr(203, 0, 113, 77)),
+            Prefix::of(Ipv4Addr(203, 0, 113, 0), 24));
+}
+
+struct ParseCase {
+  const char* text;
+  bool valid;
+  const char* canonical;
+};
+
+class PrefixParse : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(PrefixParse, ParsesOrRejects) {
+  const auto& c = GetParam();
+  const auto parsed = Prefix::parse(c.text);
+  if (c.valid) {
+    ASSERT_TRUE(parsed.has_value()) << c.text;
+    EXPECT_EQ(parsed->to_string(), c.canonical);
+  } else {
+    EXPECT_FALSE(parsed.has_value()) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PrefixParse,
+    ::testing::Values(
+        ParseCase{"10.0.0.0/8", true, "10.0.0.0/8"},
+        ParseCase{"10.1.2.3/24", true, "10.1.2.0/24"},  // host bits masked
+        ParseCase{"0.0.0.0/0", true, "0.0.0.0/0"},
+        ParseCase{"255.255.255.255/32", true, "255.255.255.255/32"},
+        ParseCase{"10.0.0.0/33", false, ""}, ParseCase{"10.0.0.0", false, ""},
+        ParseCase{"10.0.0.0/", false, ""}, ParseCase{"/24", false, ""},
+        ParseCase{"10.0.0.0/2a", false, ""},
+        ParseCase{"300.0.0.0/8", false, ""}));
+
+TEST(Prefix, OrderingIsDeterministic) {
+  const auto a = Prefix::of(Ipv4Addr(10, 0, 0, 0), 8);
+  const auto b = Prefix::of(Ipv4Addr(10, 0, 0, 0), 16);
+  const auto c = Prefix::of(Ipv4Addr(11, 0, 0, 0), 8);
+  EXPECT_LT(a, b);  // same addr, shorter length first
+  EXPECT_LT(b, c);
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 8));
+  set.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 16));
+  set.insert(Prefix::of(Ipv4Addr(10, 0, 0, 0), 24));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rloop::net

@@ -1,0 +1,88 @@
+#include "core/replica_key.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+
+#include "net/packet.h"
+
+namespace rloop::core {
+namespace {
+
+using net::Ipv4Addr;
+
+std::array<std::byte, net::kMaxHeaderBytes> serialize(
+    const net::ParsedPacket& pkt, std::size_t* len) {
+  std::array<std::byte, net::kMaxHeaderBytes> buf{};
+  *len = net::serialize_packet(pkt, buf);
+  return buf;
+}
+
+net::ParsedPacket base_packet(std::uint8_t ttl, std::uint16_t ip_id) {
+  return net::make_tcp_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8),
+                              1000, 80, 42, 43, net::kTcpAck, 100, ttl, ip_id);
+}
+
+ReplicaKey key_of(const net::ParsedPacket& pkt) {
+  std::size_t len = 0;
+  const auto buf = serialize(pkt, &len);
+  return make_replica_key(std::span<const std::byte>(buf.data(), len));
+}
+
+TEST(ReplicaKey, TtlAndChecksumDifferencesAreMasked) {
+  // Simulate a forwarding hop: decrement TTL, update checksum.
+  auto original = base_packet(64, 7);
+  auto replica = base_packet(60, 7);  // builders recompute the IP checksum
+  EXPECT_NE(original.ip.ttl, replica.ip.ttl);
+  EXPECT_NE(original.ip.checksum, replica.ip.checksum);
+  EXPECT_EQ(key_of(original), key_of(replica));
+  EXPECT_EQ(key_of(original).hash, key_of(replica).hash);
+}
+
+TEST(ReplicaKey, IpIdDistinguishesFlowPackets) {
+  // Two packets of the same flow differ only in IP ID (and checksum).
+  EXPECT_NE(key_of(base_packet(64, 7)), key_of(base_packet(64, 8)));
+}
+
+TEST(ReplicaKey, TransportChecksumParticipates) {
+  // Same flow, same IP ID, different payload (-> different TCP checksum):
+  // not replicas. Distinguish via seq which changes the checksum.
+  const auto a = net::make_tcp_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8),
+                                      1000, 80, 42, 43, net::kTcpAck, 100, 64, 7);
+  const auto b = net::make_tcp_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8),
+                                      1000, 80, 99, 43, net::kTcpAck, 100, 64, 7);
+  EXPECT_NE(key_of(a), key_of(b));
+}
+
+TEST(ReplicaKey, DifferentLengthCapturesDiffer) {
+  std::size_t len = 0;
+  const auto pkt = base_packet(64, 7);
+  const auto buf = serialize(pkt, &len);
+  const auto full = make_replica_key(std::span<const std::byte>(buf.data(), len));
+  const auto partial =
+      make_replica_key(std::span<const std::byte>(buf.data(), len - 4));
+  EXPECT_NE(full, partial);
+}
+
+TEST(ReplicaKey, ShortCapturesHandled) {
+  // A capture shorter than the TTL offset cannot mask anything but must not
+  // crash; keys of equal bytes still match.
+  std::array<std::byte, 6> tiny{};
+  tiny[0] = std::byte{0x45};
+  const auto a = make_replica_key(tiny);
+  const auto b = make_replica_key(tiny);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.len, 6);
+}
+
+TEST(ReplicaKey, HashRarelyCollidesAcrossDistinctPackets) {
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::uint16_t id = 0; id < 2000; ++id) {
+    hashes.insert(key_of(base_packet(64, id)).hash);
+  }
+  EXPECT_EQ(hashes.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace rloop::core

@@ -1,0 +1,275 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/prefix.h"
+
+namespace rloop::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+// Line: ingress - core - egress, with an external prefix at the egress and
+// a source prefix at the ingress (so ICMP errors can route back).
+struct LineNet {
+  routing::Topology topo;
+  routing::NodeId ingress, core, egress;
+  routing::LinkId l0, l1;
+  Prefix dst_prefix = *Prefix::parse("203.0.113.0/24");
+  Prefix src_prefix = *Prefix::parse("198.51.100.0/24");
+
+  LineNet() {
+    ingress = topo.add_node("ingress");
+    core = topo.add_node("core");
+    egress = topo.add_node("egress");
+    l0 = topo.add_link(ingress, core, net::kMillisecond, 1e9, 100, 1);
+    l1 = topo.add_link(core, egress, net::kMillisecond, 1e9, 100, 1);
+  }
+
+  Network make(NetworkConfig cfg = {}) {
+    Network network(topo, /*seed=*/1, cfg);
+    network.attach_external_route({dst_prefix, {egress}});
+    network.attach_external_route({src_prefix, {ingress}});
+    network.install_all_routes();
+    return network;
+  }
+};
+
+net::ParsedPacket udp_to(Ipv4Addr dst, std::uint8_t ttl,
+                         std::uint16_t id = 1) {
+  return net::make_udp_packet(Ipv4Addr(198, 51, 100, 9), dst, 1000, 2000, 100,
+                              ttl, id);
+}
+
+TEST(Network, DeliversAcrossPath) {
+  LineNet line;
+  auto network = line.make();
+  const auto id = network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 64), 128,
+                                 line.ingress, 1000);
+  network.run_all();
+
+  EXPECT_EQ(network.stats().delivered, 1u);
+  const auto& fate = network.fates().at(id);
+  EXPECT_EQ(fate.kind, FateKind::delivered);
+  EXPECT_EQ(fate.final_node, line.egress);
+  EXPECT_EQ(fate.loop_crossings, 0);
+  // Delay: 2 serializations + 2 propagations > 2 ms.
+  EXPECT_GT(fate.delay(), 2 * net::kMillisecond);
+}
+
+TEST(Network, TtlDecrementedPerForwardingHop) {
+  LineNet line;
+  auto network = line.make();
+  const auto tap = network.add_tap(line.l1, line.core, "tap", 0);
+  network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 64), 128, line.ingress, 0);
+  network.run_all();
+
+  const auto& trace = network.tap_trace(tap);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto parsed = net::parse_packet(trace[0].bytes());
+  ASSERT_TRUE(parsed.has_value());
+  // Decremented at ingress and core: 64 -> 62 on the core->egress link.
+  EXPECT_EQ(parsed->ip.ttl, 62);
+  EXPECT_TRUE(parsed->ip.checksum_valid());
+}
+
+TEST(Network, TtlExpiryGeneratesIcmpTimeExceeded) {
+  LineNet line;
+  auto network = line.make();
+  const auto id = network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 1), 128,
+                                 line.ingress, 0);
+  network.run_all();
+
+  const auto& fate = network.fates().at(id);
+  EXPECT_EQ(fate.kind, FateKind::ttl_expired);
+  EXPECT_EQ(fate.final_node, line.ingress);
+  EXPECT_EQ(network.stats().ttl_expired, 1u);
+  EXPECT_EQ(network.stats().icmp_generated, 1u);
+  // The ICMP error itself got a fate entry and was delivered back toward
+  // the source prefix at the ingress router.
+  ASSERT_EQ(network.fates().size(), 2u);
+  const auto& icmp_fate = network.fates().at(1);
+  EXPECT_TRUE(icmp_fate.is_icmp_generated);
+  EXPECT_EQ(icmp_fate.kind, FateKind::delivered);
+  EXPECT_EQ(icmp_fate.final_node, line.ingress);
+}
+
+TEST(Network, IcmpGenerationIsRateLimited) {
+  LineNet line;
+  NetworkConfig cfg;
+  cfg.icmp_rate_limit = 100 * net::kMillisecond;
+  auto network = line.make(cfg);
+  // 10 expiring packets within 1 ms: only the first earns an ICMP error.
+  for (int i = 0; i < 10; ++i) {
+    network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 1,
+                          static_cast<std::uint16_t>(i)),
+                   128, line.ingress, i * 100);
+  }
+  network.run_all();
+  EXPECT_EQ(network.stats().ttl_expired, 10u);
+  EXPECT_EQ(network.stats().icmp_generated, 1u);
+}
+
+TEST(Network, IcmpGenerationCanBeDisabled) {
+  LineNet line;
+  NetworkConfig cfg;
+  cfg.emit_icmp_time_exceeded = false;
+  auto network = line.make(cfg);
+  network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 1), 128, line.ingress, 0);
+  network.run_all();
+  EXPECT_EQ(network.stats().icmp_generated, 0u);
+}
+
+TEST(Network, NoRouteDrop) {
+  LineNet line;
+  auto network = line.make();
+  const auto id = network.inject(udp_to(Ipv4Addr(8, 8, 8, 8), 64), 128,
+                                 line.ingress, 0);
+  network.run_all();
+  EXPECT_EQ(network.fates().at(id).kind, FateKind::no_route_drop);
+  EXPECT_EQ(network.stats().no_route_drops, 1u);
+}
+
+TEST(Network, TapIsDirectional) {
+  LineNet line;
+  auto network = line.make();
+  const auto forward_tap = network.add_tap(line.l0, line.ingress, "fwd", 0);
+  const auto reverse_tap = network.add_tap(line.l0, line.core, "rev", 0);
+  network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 64), 128, line.ingress, 0);
+  network.run_all();
+  EXPECT_EQ(network.tap_trace(forward_tap).size(), 1u);
+  EXPECT_EQ(network.tap_trace(reverse_tap).size(), 0u);
+}
+
+TEST(Network, TapTimestampsAreMonotone) {
+  LineNet line;
+  auto network = line.make();
+  const auto tap = network.add_tap(line.l0, line.ingress, "tap", 0);
+  for (int i = 0; i < 50; ++i) {
+    network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 64,
+                          static_cast<std::uint16_t>(i)),
+                   1500, line.ingress, i * 10);  // heavy overlap
+  }
+  network.run_all();
+  const auto& trace = network.tap_trace(tap);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_GE(trace[i].ts, trace[i - 1].ts);
+  }
+}
+
+TEST(Network, LinkFailureDropsThenHeals) {
+  // Square: ingress-core-egress plus an expensive bypass ingress-alt-egress.
+  routing::Topology topo;
+  const auto ingress = topo.add_node("ingress");
+  const auto core = topo.add_node("core");
+  const auto egress = topo.add_node("egress");
+  const auto alt = topo.add_node("alt");
+  topo.add_link(ingress, core, net::kMillisecond, 1e9, 100, 1);
+  const auto core_egress =
+      topo.add_link(core, egress, net::kMillisecond, 1e9, 100, 1);
+  topo.add_link(ingress, alt, net::kMillisecond, 1e9, 100, 5);
+  topo.add_link(alt, egress, net::kMillisecond, 1e9, 100, 5);
+
+  Network network(topo, 3, {});
+  const auto dst = *Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({dst, {egress}});
+  network.install_all_routes();
+
+  network.fail_link(core_egress, net::kSecond);
+  // A packet right after the failure dies on the dead link (stale FIB).
+  const auto dropped =
+      network.inject(udp_to(Ipv4Addr(203, 0, 113, 1), 64, 1), 128, ingress,
+                     net::kSecond + 50 * net::kMillisecond);
+  // A packet well after convergence goes around via alt.
+  const auto rerouted =
+      network.inject(udp_to(Ipv4Addr(203, 0, 113, 1), 64, 2), 128, ingress,
+                     20 * net::kSecond);
+  network.run_all();
+
+  EXPECT_EQ(network.fates().at(dropped).kind, FateKind::link_down_drop);
+  EXPECT_EQ(network.fates().at(rerouted).kind, FateKind::delivered);
+  EXPECT_EQ(network.fates().at(rerouted).final_node, egress);
+}
+
+TEST(Network, BgpWithdrawalCreatesGroundTruthLoop) {
+  // The quickstart triangle: loop between old and new egress while the new
+  // egress's FIB is stale.
+  routing::Topology topo;
+  const auto r = topo.add_node("R");
+  const auto r1 = topo.add_node("R1");
+  const auto r2 = topo.add_node("R2");
+  topo.add_link(r, r1, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r, r2, net::kMillisecond, 1e9, 200, 1);
+  topo.add_link(r1, r2, net::kMillisecond, 1e9, 200, 1);
+
+  NetworkConfig cfg;
+  cfg.bgp.mrai_max = 2 * net::kSecond;
+  Network network(topo, 42, cfg);
+  const auto dst = *Prefix::parse("203.0.113.0/24");
+  network.attach_external_route({dst, {r, r2}});
+  network.attach_external_route({*Prefix::parse("198.51.100.0/24"), {r1}});
+  network.install_all_routes();
+
+  network.withdraw_best_egress(dst, net::kSecond);
+  for (int i = 0; i < 2000; ++i) {
+    network.inject(udp_to(Ipv4Addr(203, 0, 113, 1), 64,
+                          static_cast<std::uint16_t>(i)),
+                   128, r1, net::kMillisecond * (900 + i));
+  }
+  network.run_all();
+
+  EXPECT_GT(network.stats().loop_crossings, 0u);
+  ASSERT_FALSE(network.loop_crossings().empty());
+  EXPECT_EQ(network.loop_crossings().front().dst_prefix24, dst);
+  // Looping packets expired (TTL 64 burns out in the 2-node loop).
+  EXPECT_GT(network.stats().ttl_expired, 0u);
+  // After full convergence, traffic is delivered at the fallback egress.
+  const auto late = network.inject(udp_to(Ipv4Addr(203, 0, 113, 1), 64, 9999),
+                                   128, r1, network.now() + net::kSecond);
+  network.run_all();
+  EXPECT_EQ(network.fates().at(late).kind, FateKind::delivered);
+  EXPECT_EQ(network.fates().at(late).final_node, r2);
+}
+
+TEST(Network, WithdrawWithoutFallbackIsCounted) {
+  LineNet line;
+  auto network = line.make();
+  network.withdraw_best_egress(line.dst_prefix, 100);
+  network.run_all();
+  EXPECT_EQ(network.stats().withdraw_without_fallback, 1u);
+  // Route unchanged: still delivered.
+  const auto id = network.inject(udp_to(Ipv4Addr(203, 0, 113, 1), 64), 128,
+                                 line.ingress, network.now() + 10);
+  network.run_all();
+  EXPECT_EQ(network.fates().at(id).kind, FateKind::delivered);
+}
+
+TEST(Network, WithdrawUnknownPrefixThrowsWhenApplied) {
+  LineNet line;
+  auto network = line.make();
+  network.withdraw_best_egress(*Prefix::parse("9.9.9.0/24"), 100);
+  EXPECT_THROW(network.run_all(), std::invalid_argument);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    LineNet line;
+    auto network = line.make();
+    for (int i = 0; i < 100; ++i) {
+      network.inject(udp_to(Ipv4Addr(203, 0, 113, 5), 64,
+                            static_cast<std::uint16_t>(i)),
+                     500, line.ingress, i * 1000);
+    }
+    network.run_all();
+    return network.stats();
+  };
+  const auto s1 = run_once();
+  const auto s2 = run_once();
+  EXPECT_EQ(s1.delivered, s2.delivered);
+  EXPECT_EQ(s1.injected, s2.injected);
+}
+
+}  // namespace
+}  // namespace rloop::sim

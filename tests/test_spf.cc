@@ -1,0 +1,195 @@
+#include "routing/link_state.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/bgp_lite.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rloop::routing {
+namespace {
+
+// Line topology a - b - c.
+struct Line {
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+  Line() {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    c = topo.add_node("c");
+    ab = topo.add_link(a, b, 1000, 1e9, 10, 1);
+    bc = topo.add_link(b, c, 1000, 1e9, 10, 1);
+  }
+};
+
+TEST(Spf, LineTopologyDistancesAndNextHops) {
+  Line line;
+  const auto spf = compute_spf(line.topo, line.a);
+  EXPECT_EQ(spf.distance[static_cast<std::size_t>(line.a)], 0u);
+  EXPECT_EQ(spf.distance[static_cast<std::size_t>(line.b)], 1u);
+  EXPECT_EQ(spf.distance[static_cast<std::size_t>(line.c)], 2u);
+  EXPECT_EQ(spf.next_hop_link[static_cast<std::size_t>(line.b)], line.ab);
+  // First hop toward c is still the a-b link.
+  EXPECT_EQ(spf.next_hop_link[static_cast<std::size_t>(line.c)], line.ab);
+  EXPECT_EQ(spf.next_hop_link[static_cast<std::size_t>(line.a)], -1);
+  EXPECT_FALSE(spf.reachable(line.a));
+  EXPECT_TRUE(spf.reachable(line.c));
+}
+
+TEST(Spf, RespectsCosts) {
+  // Triangle where the direct a-c link is more expensive than a-b-c.
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto ab = topo.add_link(a, b, 0, 1e9, 10, 1);
+  topo.add_link(a, c, 0, 1e9, 10, 5);
+  topo.add_link(b, c, 0, 1e9, 10, 1);
+
+  const auto spf = compute_spf(topo, a);
+  EXPECT_EQ(spf.distance[static_cast<std::size_t>(c)], 2u);
+  EXPECT_EQ(spf.next_hop_link[static_cast<std::size_t>(c)], ab);
+}
+
+TEST(Spf, IgnoresDownLinks) {
+  Line line;
+  line.topo.set_link_up(line.bc, false);
+  const auto spf = compute_spf(line.topo, line.a);
+  EXPECT_TRUE(spf.reachable(line.b));
+  EXPECT_FALSE(spf.reachable(line.c));
+  EXPECT_EQ(spf.distance[static_cast<std::size_t>(line.c)],
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Spf, EqualCostTieBreakIsDeterministic) {
+  // Two equal-cost 2-hop paths a-b-d and a-c-d; tie resolves to the lower
+  // first-hop link id, which is a-b (created first).
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto d = topo.add_node("d");
+  const auto ab = topo.add_link(a, b, 0, 1e9, 10, 1);
+  topo.add_link(a, c, 0, 1e9, 10, 1);
+  topo.add_link(b, d, 0, 1e9, 10, 1);
+  topo.add_link(c, d, 0, 1e9, 10, 1);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto spf = compute_spf(topo, a);
+    EXPECT_EQ(spf.next_hop_link[static_cast<std::size_t>(d)], ab);
+  }
+}
+
+TEST(Spf, DisconnectedComponent) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  topo.add_node("island");
+  const auto spf = compute_spf(topo, a);
+  EXPECT_FALSE(spf.reachable(1));
+}
+
+TEST(ConvergenceSchedule, CoversAllConnectedNodesAfterEventTime) {
+  Line line;
+  util::Rng rng(5);
+  const ConvergenceConfig cfg;
+  const auto schedule =
+      link_event_schedule(line.topo, line.bc, 1000000, cfg, rng);
+  ASSERT_EQ(schedule.size(), line.topo.node_count());
+  for (const auto& update : schedule) {
+    EXPECT_GT(update.time, 1000000);
+  }
+}
+
+TEST(ConvergenceSchedule, EndpointsConvergeBeforeDistantNodes) {
+  // Long chain: endpoint of the failed link should almost always converge
+  // before the far end (it skips flooding hops).
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 8; ++i) nodes.push_back(topo.add_node("n"));
+  std::vector<LinkId> links;
+  for (int i = 0; i + 1 < 8; ++i) {
+    links.push_back(topo.add_link(nodes[i], nodes[i + 1], 0, 1e9, 10, 1));
+  }
+
+  util::Rng rng(7);
+  ConvergenceConfig cfg;
+  cfg.detect_delay_jitter = 0;
+  cfg.flood_per_hop_jitter = 0;
+  cfg.spf_delay_jitter = 0;
+  cfg.fib_update_jitter = 0;
+  // Deterministic config: learn time strictly increases with hop count.
+  const auto schedule = link_event_schedule(topo, links[0], 0, cfg, rng);
+  net::TimeNs t0 = 0, t7 = 0;
+  for (const auto& update : schedule) {
+    if (update.node == nodes[0]) t0 = update.time;
+    if (update.node == nodes[7]) t7 = update.time;
+  }
+  EXPECT_LT(t0, t7);
+}
+
+TEST(ConvergenceSchedule, FailedLinkDoesNotCarryFlooding) {
+  // Two nodes joined ONLY by the failing link: the far side cannot learn
+  // about the failure through it, but both endpoints detect locally.
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto ab = topo.add_link(a, b, 0, 1e9, 10, 1);
+  util::Rng rng(3);
+  const auto schedule = link_event_schedule(topo, ab, 0, ConvergenceConfig{},
+                                            rng);
+  // Both endpoints appear (hops == 0 from themselves).
+  EXPECT_EQ(schedule.size(), 2u);
+}
+
+TEST(ConvergenceSchedule, DeterministicGivenSeed) {
+  Line line;
+  util::Rng rng1(11), rng2(11);
+  const auto s1 = link_event_schedule(line.topo, line.ab, 0,
+                                      ConvergenceConfig{}, rng1);
+  const auto s2 = link_event_schedule(line.topo, line.ab, 0,
+                                      ConvergenceConfig{}, rng2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].node, s2[i].node);
+    EXPECT_EQ(s1[i].time, s2[i].time);
+  }
+}
+
+TEST(BgpSchedule, OriginConvergesFirst) {
+  Line line;
+  util::Rng rng(13);
+  BgpConfig cfg;
+  cfg.mrai_max = 10 * net::kSecond;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto schedule = bgp_event_schedule(line.topo, line.b, 0, cfg, rng);
+    ASSERT_EQ(schedule.size(), 3u);
+    net::TimeNs origin_time = 0;
+    net::TimeNs min_other = std::numeric_limits<net::TimeNs>::max();
+    for (const auto& update : schedule) {
+      if (update.node == line.b) origin_time = update.time;
+      else min_other = std::min(min_other, update.time);
+    }
+    EXPECT_LT(origin_time, min_other);
+  }
+}
+
+TEST(BgpSchedule, MraiStretchesConvergence) {
+  Line line;
+  util::Rng rng(17);
+  BgpConfig slow;
+  slow.mrai_max = 60 * net::kSecond;
+  net::TimeNs max_time = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const auto& update :
+         bgp_event_schedule(line.topo, line.a, 0, slow, rng)) {
+      max_time = std::max(max_time, update.time);
+    }
+  }
+  // With 60 s MRAI across 40 draws, some node lands well past 20 s.
+  EXPECT_GT(max_time, 20 * net::kSecond);
+}
+
+}  // namespace
+}  // namespace rloop::routing

@@ -1,0 +1,151 @@
+#include "core/streaming_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loop_detector.h"
+#include "trace_builder.h"
+
+namespace rloop::core {
+namespace {
+
+using net::Ipv4Addr;
+using rloop::testing::TraceBuilder;
+
+struct Harness {
+  std::vector<LoopAlert> alerts;
+  StreamingDetector detector;
+
+  explicit Harness(StreamingConfig cfg = {})
+      : detector(cfg, [this](const LoopAlert& alert) {
+          alerts.push_back(alert);
+        }) {}
+
+  void feed(const net::Trace& trace) {
+    for (const auto& rec : trace.records()) {
+      detector.on_packet(rec.ts, rec.bytes());
+    }
+  }
+};
+
+TEST(StreamingDetector, RaisesAlertAtThreshold) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(1000, dst, 60, 7, 6, 2, net::kMillisecond);
+  Harness harness;
+  harness.feed(builder.trace());
+
+  ASSERT_EQ(harness.alerts.size(), 1u);
+  const auto& alert = harness.alerts.front();
+  EXPECT_EQ(alert.prefix24, net::Prefix::slash24(dst));
+  EXPECT_EQ(alert.replicas, 3u);  // fires at min_replicas, not at the end
+  EXPECT_EQ(alert.ttl_delta, 2);
+  EXPECT_EQ(alert.first_seen, 1000);
+  EXPECT_EQ(alert.raised_at, 1000 + 2 * net::kMillisecond);
+}
+
+TEST(StreamingDetector, NoAlertBelowThreshold) {
+  TraceBuilder builder;
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 10), 60, 7, 2, 2, 1000);
+  Harness harness;
+  harness.feed(builder.trace());
+  EXPECT_TRUE(harness.alerts.empty());
+}
+
+TEST(StreamingDetector, NormalTrafficRaisesNothing) {
+  TraceBuilder builder;
+  for (int i = 0; i < 1000; ++i) {
+    builder.packet(i * 1000, Ipv4Addr(203, 0, 113, 10), 64,
+                   static_cast<std::uint16_t>(i));
+  }
+  Harness harness;
+  harness.feed(builder.trace());
+  EXPECT_TRUE(harness.alerts.empty());
+  EXPECT_EQ(harness.detector.packets_seen(), 1000u);
+}
+
+TEST(StreamingDetector, HolddownSuppressesRepeatAlerts) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  // Two looped packets, 1 s apart: one prefix, within the hold-down.
+  builder.replica_stream(0, dst, 60, 7, 10, 2, net::kMillisecond);
+  builder.replica_stream(net::kSecond, dst, 60, 8, 10, 2, net::kMillisecond);
+  // A third after the hold-down expires.
+  builder.replica_stream(2 * net::kMinute, dst, 60, 9, 10, 2,
+                         net::kMillisecond);
+  Harness harness;
+  harness.feed(builder.trace());
+  EXPECT_EQ(harness.alerts.size(), 2u);
+  EXPECT_EQ(harness.detector.alerts_raised(), 2u);
+}
+
+TEST(StreamingDetector, DistinctPrefixesAlertIndependently) {
+  TraceBuilder builder;
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 10), 60, 7, 5, 2, 1000);
+  builder.replica_stream(100, Ipv4Addr(198, 18, 0, 10), 60, 8, 5, 2, 1000);
+  Harness harness;
+  harness.feed(builder.trace());
+  EXPECT_EQ(harness.alerts.size(), 2u);
+}
+
+TEST(StreamingDetector, MemoryBoundedUnderChurn) {
+  StreamingConfig cfg;
+  cfg.stream_timeout = net::kSecond;
+  Harness harness(cfg);
+  // 300k distinct packets over 300 s: table must stay near (rate x timeout)
+  // = ~1000 entries plus the sweep interval, far below the packet count.
+  TraceBuilder builder;
+  net::TimeNs t = 0;
+  std::uint16_t id = 0;
+  for (int i = 0; i < 300'000; ++i) {
+    builder.packet(t, Ipv4Addr(203, 0, 113, 10), 64, id++);
+    t += net::kMillisecond;
+    if (builder.size() >= 50'000) {
+      harness.feed(builder.trace());
+      builder = TraceBuilder();
+      // keep timestamps increasing across chunks
+      builder.packet(t, Ipv4Addr(198, 18, 0, 1), 64, id++);
+      t += net::kMillisecond;
+    }
+  }
+  harness.feed(builder.trace());
+  EXPECT_LT(harness.detector.open_entries(), 50'000u);
+}
+
+TEST(StreamingDetector, RejectsBackwardsTime) {
+  TraceBuilder builder;
+  builder.packet(1000, Ipv4Addr(203, 0, 113, 10), 64, 1);
+  Harness harness;
+  harness.feed(builder.trace());
+  TraceBuilder earlier;
+  earlier.packet(500, Ipv4Addr(203, 0, 113, 10), 64, 2);
+  EXPECT_THROW(harness.feed(earlier.trace()), std::invalid_argument);
+}
+
+TEST(StreamingDetector, AgreesWithOfflineOnCleanStreams) {
+  // Every offline-validated loop prefix should also be alerted online.
+  TraceBuilder builder;
+  builder.replica_stream(0, Ipv4Addr(203, 0, 113, 10), 60, 7, 10, 2, 1000);
+  builder.replica_stream(net::kSecond, Ipv4Addr(198, 18, 0, 10), 100, 8, 20,
+                         3, 1000);
+  for (int i = 0; i < 100; ++i) {
+    builder.packet(2 * net::kSecond + i * 1000, Ipv4Addr(10, 9, 8, 7), 64,
+                   static_cast<std::uint16_t>(i));
+  }
+
+  const auto offline = detect_loops(builder.trace());
+  Harness harness;
+  harness.feed(builder.trace());
+
+  ASSERT_EQ(offline.loops.size(), 2u);
+  ASSERT_EQ(harness.alerts.size(), 2u);
+  for (const auto& loop : offline.loops) {
+    bool found = false;
+    for (const auto& alert : harness.alerts) {
+      if (alert.prefix24 == loop.prefix24) found = true;
+    }
+    EXPECT_TRUE(found) << loop.prefix24.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace rloop::core

@@ -1,0 +1,69 @@
+#include "routing/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace rloop::routing {
+namespace {
+
+TEST(Topology, AddNodesAssignsIdsAndLoopbacks) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(topo.node(a).name, "a");
+  EXPECT_NE(topo.node(a).loopback, topo.node(b).loopback);
+}
+
+TEST(Topology, AddLinkBuildsAdjacency) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto ab = topo.add_link(a, b, 1000, 1e9, 10, 1);
+  const auto bc = topo.add_link(b, c, 2000, 1e9, 10, 2);
+
+  ASSERT_EQ(topo.neighbors(b).size(), 2u);
+  EXPECT_EQ(topo.neighbors(b)[0].neighbor, a);
+  EXPECT_EQ(topo.neighbors(b)[0].link, ab);
+  EXPECT_EQ(topo.neighbors(b)[1].neighbor, c);
+  EXPECT_EQ(topo.neighbors(b)[1].link, bc);
+  EXPECT_EQ(topo.link(bc).igp_cost, 2u);
+  EXPECT_EQ(topo.link(ab).other(a), b);
+  EXPECT_EQ(topo.link(ab).other(b), a);
+}
+
+TEST(Topology, FindLink) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto c = topo.add_node("c");
+  const auto ab = topo.add_link(a, b, 1000, 1e9, 10);
+  EXPECT_EQ(topo.find_link(a, b), ab);
+  EXPECT_EQ(topo.find_link(b, a), ab);
+  EXPECT_FALSE(topo.find_link(a, c).has_value());
+  EXPECT_FALSE(topo.find_link(-1, c).has_value());
+}
+
+TEST(Topology, LinkStateToggles) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto ab = topo.add_link(a, b, 1000, 1e9, 10);
+  EXPECT_TRUE(topo.link(ab).up);
+  topo.set_link_up(ab, false);
+  EXPECT_FALSE(topo.link(ab).up);
+}
+
+TEST(Topology, RejectsInvalidLinks) {
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  EXPECT_THROW(topo.add_link(a, a, 0, 1e9, 10), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, 7, 0, 1e9, 10), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, b, 0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, b, 0, 1e9, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rloop::routing

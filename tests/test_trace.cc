@@ -1,0 +1,81 @@
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "net/time.h"
+
+namespace rloop::net {
+namespace {
+
+ParsedPacket sample_packet(std::uint8_t ttl = 64, std::uint16_t id = 1) {
+  return make_tcp_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8), 1000, 80,
+                         0, 0, kTcpAck, 100, ttl, id);
+}
+
+TEST(Trace, StoresRecordsInOrder) {
+  Trace trace("test", 0);
+  trace.add(100, sample_packet(), 140);
+  trace.add(200, sample_packet(), 140);
+  trace.add(200, sample_packet(), 140);  // equal timestamps allowed
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].ts, 100);
+  EXPECT_EQ(trace[2].ts, 200);
+}
+
+TEST(Trace, RejectsBackwardsTimestamps) {
+  Trace trace("test", 0);
+  trace.add(100, sample_packet(), 140);
+  EXPECT_THROW(trace.add(99, sample_packet(), 140), std::invalid_argument);
+}
+
+TEST(Trace, CapturesAtMostSnapLen) {
+  Trace trace("test", 0);
+  std::vector<std::byte> big(100, std::byte{0xaa});
+  trace.add(0, big, 100);
+  EXPECT_EQ(trace[0].cap_len, kSnapLen);
+  EXPECT_EQ(trace[0].wire_len, 100u);
+  EXPECT_EQ(trace[0].bytes().size(), kSnapLen);
+}
+
+TEST(Trace, SerializedPacketRoundtripsThroughRecord) {
+  Trace trace("test", 0);
+  const auto pkt = sample_packet(61, 42);
+  trace.add(5, pkt, pkt.ip.total_length);
+  const auto parsed = parse_packet(trace[0].bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+}
+
+TEST(Trace, DurationAndBandwidth) {
+  Trace trace("test", 0);
+  // Two 1250-byte packets one second apart: 10000 bits over 1 s = 0.01 Mbps.
+  trace.add(0, sample_packet(), 1250);
+  trace.add(kSecond, sample_packet(), 1250);
+  EXPECT_EQ(trace.duration(), kSecond);
+  EXPECT_DOUBLE_EQ(trace.average_bandwidth_mbps(), 2 * 1250 * 8 / 1e6);
+  EXPECT_EQ(trace.total_wire_bytes(), 2500u);
+}
+
+TEST(Trace, EmptyAndSingletonDuration) {
+  Trace trace("test", 0);
+  EXPECT_EQ(trace.duration(), 0);
+  EXPECT_EQ(trace.average_bandwidth_mbps(), 0.0);
+  trace.add(77, sample_packet(), 40);
+  EXPECT_EQ(trace.duration(), 0);
+}
+
+TEST(Trace, MetadataAccessors) {
+  Trace trace("link-7", 1'005'224'400);
+  EXPECT_EQ(trace.link_name(), "link-7");
+  EXPECT_EQ(trace.epoch_unix_s(), 1'005'224'400);
+  trace.set_link_name("renamed");
+  trace.set_epoch_unix_s(7);
+  EXPECT_EQ(trace.link_name(), "renamed");
+  EXPECT_EQ(trace.epoch_unix_s(), 7);
+}
+
+}  // namespace
+}  // namespace rloop::net

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/packet.h"
+#include "sim/network.h"
+#include "trafficgen/address_model.h"
+#include "trafficgen/flow.h"
+#include "trafficgen/ttl_model.h"
+#include "trafficgen/workload.h"
+
+namespace rloop::trafficgen {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(TtlModel, SamplesOnlyConfiguredValues) {
+  util::Rng rng(1);
+  TtlModel model({{64, 1.0}, {128, 1.0}});
+  for (int i = 0; i < 100; ++i) {
+    const auto ttl = model.sample(rng);
+    EXPECT_TRUE(ttl == 64 || ttl == 128);
+  }
+}
+
+TEST(TtlModel, RespectsWeights) {
+  util::Rng rng(2);
+  TtlModel model({{64, 9.0}, {128, 1.0}});
+  int n64 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng) == 64) ++n64;
+  }
+  EXPECT_NEAR(static_cast<double>(n64) / n, 0.9, 0.02);
+}
+
+TEST(TtlModel, StandardModelNormalized) {
+  const auto model = TtlModel::standard();
+  double total = 0;
+  for (const auto& [ttl, w] : model.table()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TtlModel, ThreeModesIncludes32) {
+  const auto model = TtlModel::three_modes();
+  bool has32 = false;
+  for (const auto& [ttl, w] : model.table()) {
+    if (ttl == 32) has32 = (w > 0.1);
+  }
+  EXPECT_TRUE(has32);
+}
+
+TEST(TtlModel, RejectsBadTables) {
+  EXPECT_THROW(TtlModel({}), std::invalid_argument);
+  EXPECT_THROW(TtlModel({{64, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(TtlModel({{64, -1.0}}), std::invalid_argument);
+}
+
+TEST(PrefixPool, GeneratesDistinctPrefixes) {
+  util::Rng rng(3);
+  PrefixPoolConfig cfg;
+  cfg.prefix_count = 200;
+  PrefixPool pool(cfg, rng);
+  std::set<Prefix> distinct(pool.prefixes().begin(), pool.prefixes().end());
+  EXPECT_EQ(distinct.size(), 200u);
+  for (const auto& p : pool.prefixes()) {
+    EXPECT_EQ(p.len, 24);
+    const auto first = p.addr.value >> 24;
+    EXPECT_NE(first, 10u);   // reserved for the simulator
+    EXPECT_NE(first, 127u);  // loopback
+    EXPECT_LT(first, 224u);  // no multicast
+    EXPECT_GE(first, 1u);
+  }
+}
+
+TEST(PrefixPool, ClassCFractionApproximatelyRespected) {
+  util::Rng rng(4);
+  PrefixPoolConfig cfg;
+  cfg.prefix_count = 1000;
+  cfg.class_c_fraction = 0.7;
+  PrefixPool pool(cfg, rng);
+  int class_c = 0;
+  for (const auto& p : pool.prefixes()) {
+    const auto first = p.addr.value >> 24;
+    if (first >= 192 && first <= 223) ++class_c;
+  }
+  EXPECT_NEAR(class_c / 1000.0, 0.7, 0.06);
+}
+
+TEST(PrefixPool, HostsLieInsideTheirPrefix) {
+  util::Rng rng(5);
+  PrefixPool pool({.prefix_count = 10}, rng);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (int j = 0; j < 20; ++j) {
+      const auto host = pool.sample_host(i, rng);
+      EXPECT_TRUE(pool.prefixes()[i].contains(host));
+      EXPECT_NE(host.value & 0xff, 0u);    // not the network address
+      EXPECT_NE(host.value & 0xff, 255u);  // not broadcast
+    }
+  }
+}
+
+TEST(PrefixPool, PopularityIsZipfSkewed) {
+  util::Rng rng(6);
+  PrefixPool pool({.prefix_count = 100, .zipf_s = 1.0}, rng);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[pool.sample_index(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(MulticastGroups, AlwaysInClassD) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto g = sample_multicast_group(rng);
+    EXPECT_EQ(g.value >> 28, 0xeu);
+  }
+}
+
+// --- flows ----------------------------------------------------------------
+
+struct FlowHarness {
+  routing::Topology topo;
+  routing::NodeId a, b;
+  std::unique_ptr<sim::Network> network;
+  std::size_t tap = 0;
+
+  FlowHarness() {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    const auto link = topo.add_link(a, b, net::kMillisecond, 1e9, 5000, 1);
+    network = std::make_unique<sim::Network>(topo, 1, sim::NetworkConfig{});
+    network->attach_external_route({*Prefix::parse("203.0.113.0/24"), {b}});
+    network->install_all_routes();
+    tap = network->add_tap(link, a, "tap", 0);
+  }
+
+  std::vector<net::ParsedPacket> run_flow(FlowSpec spec) {
+    util::Rng rng(9);
+    spec.ingress = a;
+    emit_flow(*network, spec, rng);
+    network->run_all();
+    std::vector<net::ParsedPacket> packets;
+    for (const auto& rec : network->tap_trace(tap).records()) {
+      auto parsed = net::parse_packet(rec.bytes());
+      if (parsed) packets.push_back(*parsed);
+    }
+    return packets;
+  }
+};
+
+FlowSpec base_spec(FlowType type, int packets) {
+  FlowSpec spec;
+  spec.type = type;
+  spec.src = Ipv4Addr(198, 51, 100, 1);
+  spec.dst = Ipv4Addr(203, 0, 113, 50);
+  spec.src_port = 4242;
+  spec.dst_port = 80;
+  spec.packet_count = packets;
+  spec.start = net::kSecond;
+  spec.initial_ttl = 64;
+  spec.first_ip_id = 100;
+  return spec;
+}
+
+TEST(Flow, TcpLifecycleSynFirstFinOrRstLast) {
+  FlowHarness harness;
+  const auto packets = harness.run_flow(base_spec(FlowType::tcp, 20));
+  ASSERT_EQ(packets.size(), 20u);
+  ASSERT_NE(packets.front().tcp(), nullptr);
+  EXPECT_TRUE(packets.front().tcp()->has(net::kTcpSyn));
+  const auto* last = packets.back().tcp();
+  ASSERT_NE(last, nullptr);
+  EXPECT_TRUE(last->has(net::kTcpFin) || last->has(net::kTcpRst));
+  // Middle packets never carry SYN.
+  for (std::size_t i = 1; i + 1 < packets.size(); ++i) {
+    EXPECT_FALSE(packets[i].tcp()->has(net::kTcpSyn)) << i;
+  }
+}
+
+TEST(Flow, IpIdsIncrementPerPacket) {
+  FlowHarness harness;
+  const auto packets = harness.run_flow(base_spec(FlowType::udp, 15));
+  ASSERT_EQ(packets.size(), 15u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].ip.id, 100 + i);
+  }
+}
+
+TEST(Flow, IcmpEchoSequenceNumbersIncrement) {
+  FlowHarness harness;
+  const auto packets = harness.run_flow(base_spec(FlowType::icmp_echo, 5));
+  ASSERT_EQ(packets.size(), 5u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    ASSERT_NE(packets[i].icmp(), nullptr);
+    EXPECT_EQ(packets[i].icmp()->type, 8);  // echo request
+    EXPECT_EQ(packets[i].icmp()->rest & 0xffff, i + 1);
+  }
+}
+
+TEST(Flow, AllPacketsCarryConfiguredTtl) {
+  FlowHarness harness;
+  auto spec = base_spec(FlowType::tcp, 10);
+  spec.initial_ttl = 128;
+  const auto packets = harness.run_flow(spec);
+  for (const auto& pkt : packets) {
+    EXPECT_EQ(pkt.ip.ttl, 127);  // one forwarding hop to the tap
+  }
+}
+
+// --- workload ---------------------------------------------------------------
+
+TEST(Workload, GeneratesApproximateMix) {
+  routing::Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto link = topo.add_link(a, b, net::kMillisecond, 10e9, 100000, 1);
+  sim::Network network(topo, 1, {});
+
+  util::Rng pool_rng(11);
+  auto dst = std::make_shared<PrefixPool>(PrefixPoolConfig{.prefix_count = 50},
+                                          pool_rng);
+  auto src = std::make_shared<PrefixPool>(PrefixPoolConfig{.prefix_count = 20},
+                                          pool_rng);
+  for (const auto& p : dst->prefixes()) {
+    network.attach_external_route({p, {b}});
+  }
+  network.attach_external_route(
+      {Prefix::of(Ipv4Addr(224, 0, 0, 0), 4), {b}});
+  for (const auto& p : src->prefixes()) {
+    network.attach_external_route({p, {a}});
+  }
+  network.install_all_routes();
+  const auto tap = network.add_tap(link, a, "tap", 0);
+
+  WorkloadConfig cfg;
+  cfg.duration = 30 * net::kSecond;
+  cfg.flows_per_second = 120;
+  Workload workload(cfg, dst, src, TtlModel::standard(), {a});
+  workload.install(network, 77);
+  network.run_all();
+
+  EXPECT_GT(workload.flows_generated(), 2000u);
+  EXPECT_GT(workload.packets_generated(), 10000u);
+
+  const auto& trace = network.tap_trace(tap);
+  std::uint64_t tcp = 0, udp = 0, icmp = 0, total = 0;
+  for (const auto& rec : trace.records()) {
+    const auto parsed = net::parse_packet(rec.bytes());
+    ASSERT_TRUE(parsed.has_value());
+    ++total;
+    if (parsed->tcp()) ++tcp;
+    else if (parsed->udp()) ++udp;
+    else if (parsed->icmp()) ++icmp;
+  }
+  ASSERT_GT(total, 0u);
+  // Figure 5 shape: TCP dominates, UDP is 5-15 %, some ICMP present.
+  EXPECT_GT(static_cast<double>(tcp) / total, 0.75);
+  const double udp_fraction = static_cast<double>(udp) / total;
+  EXPECT_GT(udp_fraction, 0.03);
+  EXPECT_LT(udp_fraction, 0.25);
+  EXPECT_GT(icmp, 0u);
+}
+
+TEST(Workload, DeterministicGivenSeeds) {
+  auto run_once = []() {
+    routing::Topology topo;
+    const auto a = topo.add_node("a");
+    const auto b = topo.add_node("b");
+    topo.add_link(a, b, net::kMillisecond, 10e9, 100000, 1);
+    sim::Network network(topo, 1, {});
+    util::Rng pool_rng(11);
+    auto dst = std::make_shared<PrefixPool>(
+        PrefixPoolConfig{.prefix_count = 20}, pool_rng);
+    auto src = std::make_shared<PrefixPool>(
+        PrefixPoolConfig{.prefix_count = 10}, pool_rng);
+    for (const auto& p : dst->prefixes()) network.attach_external_route({p, {b}});
+    network.attach_external_route({Prefix::of(Ipv4Addr(224, 0, 0, 0), 4), {b}});
+    for (const auto& p : src->prefixes()) network.attach_external_route({p, {a}});
+    network.install_all_routes();
+    WorkloadConfig cfg;
+    cfg.duration = 5 * net::kSecond;
+    cfg.flows_per_second = 50;
+    Workload workload(cfg, dst, src, TtlModel::standard(), {a});
+    workload.install(network, 123);
+    network.run_all();
+    return workload.packets_generated();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Workload, ValidatesConstruction) {
+  util::Rng rng(1);
+  auto pool = std::make_shared<PrefixPool>(PrefixPoolConfig{.prefix_count = 5},
+                                           rng);
+  WorkloadConfig cfg;
+  EXPECT_THROW(Workload(cfg, nullptr, pool, TtlModel::standard(), {0}),
+               std::invalid_argument);
+  EXPECT_THROW(Workload(cfg, pool, pool, TtlModel::standard(), {}),
+               std::invalid_argument);
+  cfg.flows_per_second = 0;
+  EXPECT_THROW(Workload(cfg, pool, pool, TtlModel::standard(), {0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rloop::trafficgen

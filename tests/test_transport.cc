@@ -1,0 +1,109 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace rloop::net {
+namespace {
+
+TEST(TcpHeader, SerializeParseRoundtrip) {
+  TcpHeader t;
+  t.src_port = 49152;
+  t.dst_port = 443;
+  t.seq = 0xdeadbeef;
+  t.ack = 0x01020304;
+  t.flags = kTcpSyn | kTcpAck;
+  t.window = 29200;
+  t.checksum = 0xabcd;
+  t.urgent_pointer = 7;
+
+  std::array<std::byte, kTcpHeaderSize> buf{};
+  t.serialize(buf);
+  const auto parsed = TcpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TcpHeader, FlagPredicates) {
+  TcpHeader t;
+  t.flags = kTcpSyn | kTcpAck;
+  EXPECT_TRUE(t.has(kTcpSyn));
+  EXPECT_TRUE(t.has(kTcpAck));
+  EXPECT_FALSE(t.has(kTcpFin));
+  EXPECT_FALSE(t.has(kTcpRst));
+}
+
+TEST(TcpHeader, RejectsShortBuffer) {
+  std::array<std::byte, kTcpHeaderSize - 1> buf{};
+  EXPECT_FALSE(TcpHeader::parse(buf).has_value());
+}
+
+TEST(TcpHeader, RejectsDataOffsetBelowFive) {
+  std::array<std::byte, kTcpHeaderSize> buf{};
+  buf[12] = std::byte{0x40};  // data offset 4
+  EXPECT_FALSE(TcpHeader::parse(buf).has_value());
+}
+
+TEST(UdpHeader, SerializeParseRoundtrip) {
+  UdpHeader u;
+  u.src_port = 5353;
+  u.dst_port = 53;
+  u.length = 520;
+  u.checksum = 0x1357;
+
+  std::array<std::byte, kUdpHeaderSize> buf{};
+  u.serialize(buf);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, u);
+}
+
+TEST(UdpHeader, RejectsLengthBelowHeader) {
+  UdpHeader u;
+  u.length = 7;
+  std::array<std::byte, kUdpHeaderSize> buf{};
+  u.serialize(buf);
+  EXPECT_FALSE(UdpHeader::parse(buf).has_value());
+}
+
+TEST(IcmpHeader, SerializeParseRoundtrip) {
+  IcmpHeader i;
+  i.type = static_cast<std::uint8_t>(IcmpType::time_exceeded);
+  i.code = 0;
+  i.checksum = 0x9876;
+  i.rest = 0x00450000;
+
+  std::array<std::byte, kIcmpHeaderSize> buf{};
+  i.serialize(buf);
+  const auto parsed = IcmpHeader::parse(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, i);
+}
+
+TEST(IcmpHeader, RejectsShortBuffer) {
+  std::array<std::byte, kIcmpHeaderSize - 1> buf{};
+  EXPECT_FALSE(IcmpHeader::parse(buf).has_value());
+}
+
+struct FlagsCase {
+  std::uint8_t flags;
+  const char* expected;
+};
+
+class TcpFlagsToString : public ::testing::TestWithParam<FlagsCase> {};
+
+TEST_P(TcpFlagsToString, Formats) {
+  EXPECT_EQ(tcp_flags_to_string(GetParam().flags), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TcpFlagsToString,
+    ::testing::Values(FlagsCase{0, "none"}, FlagsCase{kTcpSyn, "SYN"},
+                      FlagsCase{kTcpSyn | kTcpAck, "SYN|ACK"},
+                      FlagsCase{kTcpFin | kTcpAck, "ACK|FIN"},
+                      FlagsCase{kTcpRst, "RST"},
+                      FlagsCase{kTcpPsh | kTcpAck | kTcpUrg, "ACK|PSH|URG"}));
+
+}  // namespace
+}  // namespace rloop::net

@@ -1,0 +1,90 @@
+// Test helper: build synthetic traces with precise control over replicas.
+//
+// Records may be added in any time order; trace() stably sorts by timestamp
+// before materializing the (time-ordered) Trace.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/trace.h"
+
+namespace rloop::testing {
+
+class TraceBuilder {
+ public:
+  // One ordinary UDP packet.
+  void packet(net::TimeNs ts, net::Ipv4Addr dst, std::uint8_t ttl,
+              std::uint16_t ip_id,
+              net::Ipv4Addr src = net::Ipv4Addr(198, 51, 100, 1),
+              std::uint16_t src_port = 1000, std::uint16_t dst_port = 2000) {
+    entries_.push_back({ts,
+                        net::make_udp_packet(src, dst, src_port, dst_port, 64,
+                                             ttl, ip_id),
+                        {},
+                        false});
+    dirty_ = true;
+  }
+
+  // A looped packet's replica stream: `count` observations starting at
+  // `start`/`ttl0`, TTL decreasing by `delta` per observation, spaced
+  // `spacing` apart. All observations share the same header bytes except
+  // TTL/checksum, exactly like a real loop.
+  void replica_stream(net::TimeNs start, net::Ipv4Addr dst, std::uint8_t ttl0,
+                      std::uint16_t ip_id, int count, int delta,
+                      net::TimeNs spacing,
+                      net::Ipv4Addr src = net::Ipv4Addr(198, 51, 100, 1)) {
+    for (int i = 0; i < count; ++i) {
+      entries_.push_back(
+          {start + i * spacing,
+           net::make_udp_packet(src, dst, 1000, 2000, 64,
+                                static_cast<std::uint8_t>(ttl0 - i * delta),
+                                ip_id),
+           {},
+           false});
+    }
+    dirty_ = true;
+  }
+
+  // Raw bytes (e.g. malformed records).
+  void raw(net::TimeNs ts, std::vector<std::byte> bytes) {
+    entries_.push_back({ts, {}, std::move(bytes), true});
+    dirty_ = true;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  net::Trace& trace() {
+    if (dirty_) {
+      std::stable_sort(entries_.begin(), entries_.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return a.ts < b.ts;
+                       });
+      trace_ = net::Trace("synthetic", 0);
+      for (const auto& e : entries_) {
+        if (e.is_raw) {
+          trace_.add(e.ts, e.bytes, static_cast<std::uint32_t>(e.bytes.size()));
+        } else {
+          trace_.add(e.ts, e.pkt, e.pkt.ip.total_length);
+        }
+      }
+      dirty_ = false;
+    }
+    return trace_;
+  }
+
+ private:
+  struct Entry {
+    net::TimeNs ts = 0;
+    net::ParsedPacket pkt;
+    std::vector<std::byte> bytes;
+    bool is_raw = false;
+  };
+  std::vector<Entry> entries_;
+  net::Trace trace_{"synthetic", 0};
+  bool dirty_ = true;
+};
+
+}  // namespace rloop::testing
