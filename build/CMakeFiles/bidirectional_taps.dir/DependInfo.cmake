@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bidirectional_taps.cc" "CMakeFiles/bidirectional_taps.dir/bench/bidirectional_taps.cc.o" "gcc" "CMakeFiles/bidirectional_taps.dir/bench/bidirectional_taps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/rloop_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_correlate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

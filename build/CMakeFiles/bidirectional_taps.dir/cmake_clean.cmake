@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidirectional_taps.dir/bench/bidirectional_taps.cc.o"
+  "CMakeFiles/bidirectional_taps.dir/bench/bidirectional_taps.cc.o.d"
+  "bench/bidirectional_taps"
+  "bench/bidirectional_taps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidirectional_taps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bidirectional_taps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bidirectional_taps.
+# This may be replaced when dependencies are built.

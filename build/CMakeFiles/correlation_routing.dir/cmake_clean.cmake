@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_routing.dir/bench/correlation_routing.cc.o"
+  "CMakeFiles/correlation_routing.dir/bench/correlation_routing.cc.o.d"
+  "bench/correlation_routing"
+  "bench/correlation_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

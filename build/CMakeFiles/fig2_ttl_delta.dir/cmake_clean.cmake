@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ttl_delta.dir/bench/fig2_ttl_delta.cc.o"
+  "CMakeFiles/fig2_ttl_delta.dir/bench/fig2_ttl_delta.cc.o.d"
+  "bench/fig2_ttl_delta"
+  "bench/fig2_ttl_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ttl_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

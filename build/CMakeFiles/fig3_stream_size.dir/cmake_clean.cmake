@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stream_size.dir/bench/fig3_stream_size.cc.o"
+  "CMakeFiles/fig3_stream_size.dir/bench/fig3_stream_size.cc.o.d"
+  "bench/fig3_stream_size"
+  "bench/fig3_stream_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stream_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spacing.dir/bench/fig4_spacing.cc.o"
+  "CMakeFiles/fig4_spacing.dir/bench/fig4_spacing.cc.o.d"
+  "bench/fig4_spacing"
+  "bench/fig4_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_traffic_mix.dir/bench/fig5_traffic_mix.cc.o"
+  "CMakeFiles/fig5_traffic_mix.dir/bench/fig5_traffic_mix.cc.o.d"
+  "bench/fig5_traffic_mix"
+  "bench/fig5_traffic_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_traffic_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_looped_mix.dir/bench/fig6_looped_mix.cc.o"
+  "CMakeFiles/fig6_looped_mix.dir/bench/fig6_looped_mix.cc.o.d"
+  "bench/fig6_looped_mix"
+  "bench/fig6_looped_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_looped_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dst_timeseries.dir/bench/fig7_dst_timeseries.cc.o"
+  "CMakeFiles/fig7_dst_timeseries.dir/bench/fig7_dst_timeseries.cc.o.d"
+  "bench/fig7_dst_timeseries"
+  "bench/fig7_dst_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dst_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_dst_timeseries.
+# This may be replaced when dependencies are built.

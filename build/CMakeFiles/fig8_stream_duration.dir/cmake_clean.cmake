@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stream_duration.dir/bench/fig8_stream_duration.cc.o"
+  "CMakeFiles/fig8_stream_duration.dir/bench/fig8_stream_duration.cc.o.d"
+  "bench/fig8_stream_duration"
+  "bench/fig8_stream_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stream_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

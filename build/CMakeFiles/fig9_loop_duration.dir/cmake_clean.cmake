@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_loop_duration.dir/bench/fig9_loop_duration.cc.o"
+  "CMakeFiles/fig9_loop_duration.dir/bench/fig9_loop_duration.cc.o.d"
+  "bench/fig9_loop_duration"
+  "bench/fig9_loop_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_loop_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impact_loss_delay.dir/bench/impact_loss_delay.cc.o"
+  "CMakeFiles/impact_loss_delay.dir/bench/impact_loss_delay.cc.o.d"
+  "bench/impact_loss_delay"
+  "bench/impact_loss_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impact_loss_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_detector.dir/bench/micro_detector.cc.o"
+  "CMakeFiles/micro_detector.dir/bench/micro_detector.cc.o.d"
+  "bench/micro_detector"
+  "bench/micro_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_loops.dir/bench/persistent_loops.cc.o"
+  "CMakeFiles/persistent_loops.dir/bench/persistent_loops.cc.o.d"
+  "bench/persistent_loops"
+  "bench/persistent_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/rloop_bench_common.dir/bench/common.cc.o.d"
+  "librloop_bench_common.a"
+  "librloop_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

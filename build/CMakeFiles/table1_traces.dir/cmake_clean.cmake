@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_traces.dir/bench/table1_traces.cc.o"
+  "CMakeFiles/table1_traces.dir/bench/table1_traces.cc.o.d"
+  "bench/table1_traces"
+  "bench/table1_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

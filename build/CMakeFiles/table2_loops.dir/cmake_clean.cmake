@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loops.dir/bench/table2_loops.cc.o"
+  "CMakeFiles/table2_loops.dir/bench/table2_loops.cc.o.d"
+  "bench/table2_loops"
+  "bench/table2_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

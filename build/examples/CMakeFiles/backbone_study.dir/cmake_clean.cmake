@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_study.dir/backbone_study.cpp.o"
+  "CMakeFiles/backbone_study.dir/backbone_study.cpp.o.d"
+  "backbone_study"
+  "backbone_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_forensics.dir/loop_forensics.cpp.o"
+  "CMakeFiles/loop_forensics.dir/loop_forensics.cpp.o.d"
+  "loop_forensics"
+  "loop_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_inspect.dir/pcap_inspect.cpp.o"
+  "CMakeFiles/pcap_inspect.dir/pcap_inspect.cpp.o.d"
+  "pcap_inspect"
+  "pcap_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

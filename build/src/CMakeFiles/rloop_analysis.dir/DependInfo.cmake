@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cdf.cc" "src/CMakeFiles/rloop_analysis.dir/analysis/cdf.cc.o" "gcc" "src/CMakeFiles/rloop_analysis.dir/analysis/cdf.cc.o.d"
+  "/root/repo/src/analysis/csv.cc" "src/CMakeFiles/rloop_analysis.dir/analysis/csv.cc.o" "gcc" "src/CMakeFiles/rloop_analysis.dir/analysis/csv.cc.o.d"
+  "/root/repo/src/analysis/histogram.cc" "src/CMakeFiles/rloop_analysis.dir/analysis/histogram.cc.o" "gcc" "src/CMakeFiles/rloop_analysis.dir/analysis/histogram.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/CMakeFiles/rloop_analysis.dir/analysis/stats.cc.o" "gcc" "src/CMakeFiles/rloop_analysis.dir/analysis/stats.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/CMakeFiles/rloop_analysis.dir/analysis/table.cc.o" "gcc" "src/CMakeFiles/rloop_analysis.dir/analysis/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_analysis.dir/analysis/cdf.cc.o"
+  "CMakeFiles/rloop_analysis.dir/analysis/cdf.cc.o.d"
+  "CMakeFiles/rloop_analysis.dir/analysis/csv.cc.o"
+  "CMakeFiles/rloop_analysis.dir/analysis/csv.cc.o.d"
+  "CMakeFiles/rloop_analysis.dir/analysis/histogram.cc.o"
+  "CMakeFiles/rloop_analysis.dir/analysis/histogram.cc.o.d"
+  "CMakeFiles/rloop_analysis.dir/analysis/stats.cc.o"
+  "CMakeFiles/rloop_analysis.dir/analysis/stats.cc.o.d"
+  "CMakeFiles/rloop_analysis.dir/analysis/table.cc.o"
+  "CMakeFiles/rloop_analysis.dir/analysis/table.cc.o.d"
+  "librloop_analysis.a"
+  "librloop_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_baseline.dir/baseline/comparison.cc.o"
+  "CMakeFiles/rloop_baseline.dir/baseline/comparison.cc.o.d"
+  "CMakeFiles/rloop_baseline.dir/baseline/prober.cc.o"
+  "CMakeFiles/rloop_baseline.dir/baseline/prober.cc.o.d"
+  "librloop_baseline.a"
+  "librloop_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cc" "src/CMakeFiles/rloop_core.dir/core/classify.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/classify.cc.o.d"
+  "/root/repo/src/core/impact.cc" "src/CMakeFiles/rloop_core.dir/core/impact.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/impact.cc.o.d"
+  "/root/repo/src/core/loop_detector.cc" "src/CMakeFiles/rloop_core.dir/core/loop_detector.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/loop_detector.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/rloop_core.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/prefix_index.cc" "src/CMakeFiles/rloop_core.dir/core/prefix_index.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/prefix_index.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/rloop_core.dir/core/record.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/record.cc.o.d"
+  "/root/repo/src/core/replica_detector.cc" "src/CMakeFiles/rloop_core.dir/core/replica_detector.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/replica_detector.cc.o.d"
+  "/root/repo/src/core/replica_key.cc" "src/CMakeFiles/rloop_core.dir/core/replica_key.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/replica_key.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/rloop_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/stream_merger.cc" "src/CMakeFiles/rloop_core.dir/core/stream_merger.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/stream_merger.cc.o.d"
+  "/root/repo/src/core/stream_validator.cc" "src/CMakeFiles/rloop_core.dir/core/stream_validator.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/stream_validator.cc.o.d"
+  "/root/repo/src/core/streaming_detector.cc" "src/CMakeFiles/rloop_core.dir/core/streaming_detector.cc.o" "gcc" "src/CMakeFiles/rloop_core.dir/core/streaming_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rloop_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_core.dir/core/classify.cc.o"
+  "CMakeFiles/rloop_core.dir/core/classify.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/impact.cc.o"
+  "CMakeFiles/rloop_core.dir/core/impact.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/loop_detector.cc.o"
+  "CMakeFiles/rloop_core.dir/core/loop_detector.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/metrics.cc.o"
+  "CMakeFiles/rloop_core.dir/core/metrics.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/prefix_index.cc.o"
+  "CMakeFiles/rloop_core.dir/core/prefix_index.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/record.cc.o"
+  "CMakeFiles/rloop_core.dir/core/record.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/replica_detector.cc.o"
+  "CMakeFiles/rloop_core.dir/core/replica_detector.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/replica_key.cc.o"
+  "CMakeFiles/rloop_core.dir/core/replica_key.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/report.cc.o"
+  "CMakeFiles/rloop_core.dir/core/report.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/stream_merger.cc.o"
+  "CMakeFiles/rloop_core.dir/core/stream_merger.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/stream_validator.cc.o"
+  "CMakeFiles/rloop_core.dir/core/stream_validator.cc.o.d"
+  "CMakeFiles/rloop_core.dir/core/streaming_detector.cc.o"
+  "CMakeFiles/rloop_core.dir/core/streaming_detector.cc.o.d"
+  "librloop_core.a"
+  "librloop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rloop_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_correlate.dir/correlate/correlate.cc.o"
+  "CMakeFiles/rloop_correlate.dir/correlate/correlate.cc.o.d"
+  "librloop_correlate.a"
+  "librloop_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/anonymize.cc" "src/CMakeFiles/rloop_net.dir/net/anonymize.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/anonymize.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/CMakeFiles/rloop_net.dir/net/checksum.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/checksum.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/CMakeFiles/rloop_net.dir/net/ipv4.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/ipv4.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/rloop_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/CMakeFiles/rloop_net.dir/net/pcap.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/pcap.cc.o.d"
+  "/root/repo/src/net/prefix.cc" "src/CMakeFiles/rloop_net.dir/net/prefix.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/prefix.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/rloop_net.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/trace.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/CMakeFiles/rloop_net.dir/net/transport.cc.o" "gcc" "src/CMakeFiles/rloop_net.dir/net/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

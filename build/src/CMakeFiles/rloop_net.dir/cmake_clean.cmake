@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_net.dir/net/anonymize.cc.o"
+  "CMakeFiles/rloop_net.dir/net/anonymize.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/checksum.cc.o"
+  "CMakeFiles/rloop_net.dir/net/checksum.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/ipv4.cc.o"
+  "CMakeFiles/rloop_net.dir/net/ipv4.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/packet.cc.o"
+  "CMakeFiles/rloop_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/pcap.cc.o"
+  "CMakeFiles/rloop_net.dir/net/pcap.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/prefix.cc.o"
+  "CMakeFiles/rloop_net.dir/net/prefix.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/trace.cc.o"
+  "CMakeFiles/rloop_net.dir/net/trace.cc.o.d"
+  "CMakeFiles/rloop_net.dir/net/transport.cc.o"
+  "CMakeFiles/rloop_net.dir/net/transport.cc.o.d"
+  "librloop_net.a"
+  "librloop_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bgp_lite.cc" "src/CMakeFiles/rloop_routing.dir/routing/bgp_lite.cc.o" "gcc" "src/CMakeFiles/rloop_routing.dir/routing/bgp_lite.cc.o.d"
+  "/root/repo/src/routing/link_state.cc" "src/CMakeFiles/rloop_routing.dir/routing/link_state.cc.o" "gcc" "src/CMakeFiles/rloop_routing.dir/routing/link_state.cc.o.d"
+  "/root/repo/src/routing/lpm_trie.cc" "src/CMakeFiles/rloop_routing.dir/routing/lpm_trie.cc.o" "gcc" "src/CMakeFiles/rloop_routing.dir/routing/lpm_trie.cc.o.d"
+  "/root/repo/src/routing/topology.cc" "src/CMakeFiles/rloop_routing.dir/routing/topology.cc.o" "gcc" "src/CMakeFiles/rloop_routing.dir/routing/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rloop_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_routing.dir/routing/bgp_lite.cc.o"
+  "CMakeFiles/rloop_routing.dir/routing/bgp_lite.cc.o.d"
+  "CMakeFiles/rloop_routing.dir/routing/link_state.cc.o"
+  "CMakeFiles/rloop_routing.dir/routing/link_state.cc.o.d"
+  "CMakeFiles/rloop_routing.dir/routing/lpm_trie.cc.o"
+  "CMakeFiles/rloop_routing.dir/routing/lpm_trie.cc.o.d"
+  "CMakeFiles/rloop_routing.dir/routing/topology.cc.o"
+  "CMakeFiles/rloop_routing.dir/routing/topology.cc.o.d"
+  "librloop_routing.a"
+  "librloop_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librloop_routing.a"
+)

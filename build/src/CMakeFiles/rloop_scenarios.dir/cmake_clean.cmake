@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_scenarios.dir/scenarios/backbone.cc.o"
+  "CMakeFiles/rloop_scenarios.dir/scenarios/backbone.cc.o.d"
+  "CMakeFiles/rloop_scenarios.dir/scenarios/random_backbone.cc.o"
+  "CMakeFiles/rloop_scenarios.dir/scenarios/random_backbone.cc.o.d"
+  "librloop_scenarios.a"
+  "librloop_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/rloop_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/rloop_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/failure.cc" "src/CMakeFiles/rloop_sim.dir/sim/failure.cc.o" "gcc" "src/CMakeFiles/rloop_sim.dir/sim/failure.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/CMakeFiles/rloop_sim.dir/sim/link.cc.o" "gcc" "src/CMakeFiles/rloop_sim.dir/sim/link.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/rloop_sim.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/rloop_sim.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/router.cc" "src/CMakeFiles/rloop_sim.dir/sim/router.cc.o" "gcc" "src/CMakeFiles/rloop_sim.dir/sim/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rloop_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rloop_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/rloop_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/rloop_sim.dir/sim/failure.cc.o"
+  "CMakeFiles/rloop_sim.dir/sim/failure.cc.o.d"
+  "CMakeFiles/rloop_sim.dir/sim/link.cc.o"
+  "CMakeFiles/rloop_sim.dir/sim/link.cc.o.d"
+  "CMakeFiles/rloop_sim.dir/sim/network.cc.o"
+  "CMakeFiles/rloop_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/rloop_sim.dir/sim/router.cc.o"
+  "CMakeFiles/rloop_sim.dir/sim/router.cc.o.d"
+  "librloop_sim.a"
+  "librloop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

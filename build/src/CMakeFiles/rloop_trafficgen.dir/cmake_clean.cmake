@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/address_model.cc.o"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/address_model.cc.o.d"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/flow.cc.o"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/flow.cc.o.d"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/ttl_model.cc.o"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/ttl_model.cc.o.d"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/workload.cc.o"
+  "CMakeFiles/rloop_trafficgen.dir/trafficgen/workload.cc.o.d"
+  "librloop_trafficgen.a"
+  "librloop_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rloop_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

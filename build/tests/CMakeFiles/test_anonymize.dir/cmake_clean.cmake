@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anonymize.dir/test_anonymize.cc.o"
+  "CMakeFiles/test_anonymize.dir/test_anonymize.cc.o.d"
+  "test_anonymize"
+  "test_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_correlate.dir/test_correlate.cc.o"
+  "CMakeFiles/test_correlate.dir/test_correlate.cc.o.d"
+  "test_correlate"
+  "test_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

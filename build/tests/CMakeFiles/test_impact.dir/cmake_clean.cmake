@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impact.dir/test_impact.cc.o"
+  "CMakeFiles/test_impact.dir/test_impact.cc.o.d"
+  "test_impact"
+  "test_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

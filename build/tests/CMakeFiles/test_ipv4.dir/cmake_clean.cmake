@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipv4.dir/test_ipv4.cc.o"
+  "CMakeFiles/test_ipv4.dir/test_ipv4.cc.o.d"
+  "test_ipv4"
+  "test_ipv4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipv4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

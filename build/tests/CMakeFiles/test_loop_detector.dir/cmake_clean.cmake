@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_detector.dir/test_loop_detector.cc.o"
+  "CMakeFiles/test_loop_detector.dir/test_loop_detector.cc.o.d"
+  "test_loop_detector"
+  "test_loop_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

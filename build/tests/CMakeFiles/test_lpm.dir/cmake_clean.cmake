@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpm.dir/test_lpm.cc.o"
+  "CMakeFiles/test_lpm.dir/test_lpm.cc.o.d"
+  "test_lpm"
+  "test_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

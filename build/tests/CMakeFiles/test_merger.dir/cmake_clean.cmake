@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merger.dir/test_merger.cc.o"
+  "CMakeFiles/test_merger.dir/test_merger.cc.o.d"
+  "test_merger"
+  "test_merger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

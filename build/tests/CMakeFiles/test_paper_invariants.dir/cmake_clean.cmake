@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_invariants.dir/test_paper_invariants.cc.o"
+  "CMakeFiles/test_paper_invariants.dir/test_paper_invariants.cc.o.d"
+  "test_paper_invariants"
+  "test_paper_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcap.dir/test_pcap.cc.o"
+  "CMakeFiles/test_pcap.dir/test_pcap.cc.o.d"
+  "test_pcap"
+  "test_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

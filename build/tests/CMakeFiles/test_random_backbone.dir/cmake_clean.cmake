@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_backbone.dir/test_random_backbone.cc.o"
+  "CMakeFiles/test_random_backbone.dir/test_random_backbone.cc.o.d"
+  "test_random_backbone"
+  "test_random_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica_detector.dir/test_replica_detector.cc.o"
+  "CMakeFiles/test_replica_detector.dir/test_replica_detector.cc.o.d"
+  "test_replica_detector"
+  "test_replica_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica_key.dir/test_replica_key.cc.o"
+  "CMakeFiles/test_replica_key.dir/test_replica_key.cc.o.d"
+  "test_replica_key"
+  "test_replica_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenarios.dir/test_scenarios.cc.o"
+  "CMakeFiles/test_scenarios.dir/test_scenarios.cc.o.d"
+  "test_scenarios"
+  "test_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

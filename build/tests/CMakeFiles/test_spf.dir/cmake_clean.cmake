@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spf.dir/test_spf.cc.o"
+  "CMakeFiles/test_spf.dir/test_spf.cc.o.d"
+  "test_spf"
+  "test_spf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

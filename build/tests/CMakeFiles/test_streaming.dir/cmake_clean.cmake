@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming.dir/test_streaming.cc.o"
+  "CMakeFiles/test_streaming.dir/test_streaming.cc.o.d"
+  "test_streaming"
+  "test_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trafficgen.dir/test_trafficgen.cc.o"
+  "CMakeFiles/test_trafficgen.dir/test_trafficgen.cc.o.d"
+  "test_trafficgen"
+  "test_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
