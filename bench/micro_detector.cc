@@ -14,6 +14,7 @@
 #include "net/checksum.h"
 #include "net/packet.h"
 #include "routing/lpm_trie.h"
+#include "telemetry/registry.h"
 #include "util/random.h"
 
 using namespace rloop;
@@ -57,6 +58,23 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 
+// Telemetry-overhead guard: same pipeline with a live registry. Compare
+// items/s against BM_FullPipeline (the null-registry mode) — the gap is the
+// cost of instrumentation and must stay under ~2%.
+void BM_FullPipelineTelemetry(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  telemetry::Registry registry;
+  core::LoopDetectorConfig config;
+  config.registry = &registry;
+  for (auto _ : state) {
+    auto result = core::detect_loops(trace, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipelineTelemetry)->Unit(benchmark::kMillisecond);
+
 void BM_StreamingDetector(benchmark::State& state) {
   const auto& trace = bench_trace();
   for (auto _ : state) {
@@ -70,6 +88,23 @@ void BM_StreamingDetector(benchmark::State& state) {
                           static_cast<std::int64_t>(trace.size()));
 }
 BENCHMARK(BM_StreamingDetector)->Unit(benchmark::kMillisecond);
+
+// Telemetry-overhead guard for the per-packet streaming hot path (counter
+// increments + open-entry gauge per packet).
+void BM_StreamingDetectorTelemetry(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  telemetry::Registry registry;
+  for (auto _ : state) {
+    core::StreamingDetector detector({}, nullptr, &registry);
+    for (const auto& rec : trace.records()) {
+      detector.on_packet(rec.ts, rec.bytes());
+    }
+    benchmark::DoNotOptimize(detector.alerts_raised());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_StreamingDetectorTelemetry)->Unit(benchmark::kMillisecond);
 
 void BM_ReplicaKey(benchmark::State& state) {
   const auto pkt = net::make_tcp_packet(net::Ipv4Addr(1, 2, 3, 4),

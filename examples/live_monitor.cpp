@@ -5,8 +5,15 @@
 // any destination /24 accumulates a replica stream — the way an operator
 // console would surface a loop while it is still happening.
 //
-// Usage: live_monitor [capture.pcap]
+// With --stats <seconds>, a telemetry registry is attached and a periodic
+// Prometheus-text snapshot (alert counter, hold-down suppressions, live
+// open-entry gauge — the loop-surge signal) is printed every <seconds> of
+// *trace* time, driven by packet timestamps rather than a wall clock, so
+// replays are deterministic.
+//
+// Usage: live_monitor [--stats <seconds>] [capture.pcap]
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -14,15 +21,40 @@
 #include "net/pcap.h"
 #include "net/time.h"
 #include "scenarios/backbone.h"
+#include "telemetry/exporter.h"
+#include "telemetry/registry.h"
 
 using namespace rloop;
 
 int main(int argc, char** argv) {
+  double stats_interval_s = 0.0;
+  const char* pcap_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: live_monitor [--stats <seconds>] "
+                             "[capture.pcap]\n");
+        return 2;
+      }
+      stats_interval_s = std::atof(argv[++i]);
+      if (stats_interval_s <= 0) {
+        std::fprintf(stderr, "error: --stats interval must be > 0\n");
+        return 2;
+      }
+    } else {
+      pcap_path = argv[i];
+    }
+  }
+
+  telemetry::Registry registry;
+  telemetry::Registry* reg = stats_interval_s > 0 ? &registry : nullptr;
+
   net::Trace trace;
-  if (argc > 1) {
-    std::printf("reading %s ...\n", argv[1]);
+  if (pcap_path) {
+    std::printf("reading %s ...\n", pcap_path);
     try {
-      trace = net::read_pcap(argv[1]);
+      trace = net::read_pcap(pcap_path, reg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -39,7 +71,8 @@ int main(int argc, char** argv) {
   config.alert_holddown = 30 * net::kSecond;
   std::uint64_t alert_count = 0;
   core::StreamingDetector detector(
-      config, [&alert_count](const core::LoopAlert& alert) {
+      config,
+      [&alert_count](const core::LoopAlert& alert) {
         ++alert_count;
         std::printf(
             "[%9.3fs] LOOP suspected on %-18s  ttl_delta=%d  (stream began "
@@ -47,10 +80,24 @@ int main(int argc, char** argv) {
             net::to_seconds(alert.raised_at), alert.prefix24.to_string().c_str(),
             alert.ttl_delta,
             net::to_millis(alert.raised_at - alert.first_seen));
+      },
+      reg);
+
+  telemetry::PeriodicExporter exporter(
+      &registry,
+      static_cast<net::TimeNs>(stats_interval_s * net::kSecond),
+      telemetry::PeriodicExporter::Format::prometheus,
+      [](const std::string& text) {
+        std::printf("--- stats snapshot ---\n%s\n", text.c_str());
       });
 
   for (const auto& rec : trace.records()) {
     detector.on_packet(rec.ts, rec.bytes());
+    if (reg) exporter.pump(rec.ts);
+  }
+  if (reg && !trace.records().empty()) {
+    std::printf("--- final stats ---\n");
+    exporter.flush(trace.records().back().ts);
   }
 
   std::printf("\n%llu packets scanned, %llu alerts, %zu entries resident\n",

@@ -2,6 +2,18 @@
 
 namespace rloop::core {
 
+namespace {
+
+telemetry::Histogram* stage_histogram(telemetry::Registry* registry,
+                                      const char* stage) {
+  return telemetry::get_histogram(
+      registry, "rloop_pipeline_stage_latency_ns",
+      telemetry::latency_bounds_ns(), {{"stage", stage}},
+      "Wall-clock latency of one detection-pipeline stage per call");
+}
+
+}  // namespace
+
 std::uint64_t LoopDetectionResult::looped_packet_records() const {
   std::uint64_t total = 0;
   for (const auto& stream : valid_streams) {
@@ -12,22 +24,38 @@ std::uint64_t LoopDetectionResult::looped_packet_records() const {
 
 LoopDetectionResult detect_loops(const net::Trace& trace,
                                  const LoopDetectorConfig& config) {
+  telemetry::Registry* reg = config.registry;
   LoopDetectionResult result;
-  result.records = parse_trace(trace);
-  result.total_records = result.records.size();
-  for (const auto& rec : result.records) {
-    if (!rec.ok) ++result.parse_failures;
+  {
+    const telemetry::ScopedTimer timer(stage_histogram(reg, "parse"));
+    result.records = parse_trace(trace);
+    result.total_records = result.records.size();
+    for (const auto& rec : result.records) {
+      if (!rec.ok) ++result.parse_failures;
+    }
   }
+  telemetry::inc(telemetry::get_counter(
+                     reg, "rloop_pipeline_parse_failures_total", {},
+                     "Trace records whose IP header failed to parse"),
+                 result.parse_failures);
 
-  const ReplicaDetector detector(config.detector);
-  result.raw_streams = detector.detect(trace, result.records);
-
-  const StreamValidator validator(config.validator);
-  result.valid_streams =
-      validator.validate(result.records, result.raw_streams, &result.validation);
-
-  const StreamMerger merger(config.merger);
-  result.loops = merger.merge(result.records, result.valid_streams);
+  {
+    const telemetry::ScopedTimer timer(stage_histogram(reg, "detect"));
+    const ReplicaDetector detector(config.detector, reg);
+    result.raw_streams = detector.detect(trace, result.records);
+  }
+  {
+    const telemetry::ScopedTimer timer(stage_histogram(reg, "validate"));
+    const StreamValidator validator(config.validator, reg);
+    result.valid_streams = validator.validate(result.records,
+                                              result.raw_streams,
+                                              &result.validation);
+  }
+  {
+    const telemetry::ScopedTimer timer(stage_histogram(reg, "merge"));
+    const StreamMerger merger(config.merger, reg);
+    result.loops = merger.merge(result.records, result.valid_streams);
+  }
   return result;
 }
 

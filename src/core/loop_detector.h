@@ -9,6 +9,7 @@
 #include "core/stream_merger.h"
 #include "core/stream_validator.h"
 #include "net/trace.h"
+#include "telemetry/registry.h"
 
 namespace rloop::core {
 
@@ -16,6 +17,11 @@ struct LoopDetectorConfig {
   ReplicaDetectorConfig detector;
   ValidatorConfig validator;
   MergerConfig merger;
+  // Optional metrics sink. When set, every stage records a wall-clock
+  // latency histogram (rloop_pipeline_stage_latency_ns{stage=...}) and the
+  // stage objects register their own counters; when null the pipeline runs
+  // with zero telemetry overhead.
+  telemetry::Registry* registry = nullptr;
 };
 
 struct LoopDetectionResult {

@@ -38,8 +38,28 @@ double ReplicaStream::mean_spacing_ns() const {
          static_cast<double>(replicas.size() - 1);
 }
 
-ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config)
-    : config_(config) {}
+ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config,
+                                 telemetry::Registry* registry)
+    : config_(config),
+      m_records_(telemetry::get_counter(
+          registry, "rloop_detector_records_total", {},
+          "Parsed records scanned by the replica detector")),
+      m_replicas_(telemetry::get_counter(
+          registry, "rloop_detector_replicas_matched_total", {},
+          "Observations matched into an existing replica stream")),
+      m_streams_opened_(telemetry::get_counter(
+          registry, "rloop_detector_streams_opened_total", {},
+          "Candidate streams opened (one per first-seen header)")),
+      m_streams_expired_(telemetry::get_counter(
+          registry, "rloop_detector_streams_expired_total", {},
+          "Candidate streams closed by the stream timeout")),
+      m_streams_emitted_(telemetry::get_counter(
+          registry, "rloop_detector_streams_emitted_total", {},
+          "Closed streams with >= 2 replicas handed to validation")),
+      m_spacing_(telemetry::get_histogram(
+          registry, "rloop_detector_replica_spacing_ns",
+          telemetry::spacing_bounds_ns(), {},
+          "Spacing between successive replicas of one stream")) {}
 
 namespace {
 
@@ -58,8 +78,21 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
   std::unordered_map<ReplicaKey, std::vector<OpenStream>, ReplicaKeyHash> open;
   std::vector<ReplicaStream> closed;
 
-  auto close_stream = [&closed](OpenStream&& os) {
+  // detect() is a batch call, so counters are accumulated in plain locals
+  // and flushed to the shared atomics once on return — the per-record loop
+  // pays no atomic traffic for telemetry (only the per-match spacing
+  // histogram, and matches are rare).
+  struct LocalCounts {
+    std::uint64_t records = 0;
+    std::uint64_t replicas = 0;
+    std::uint64_t opened = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t emitted = 0;
+  } counts;
+
+  auto close_stream = [&closed, &counts](OpenStream&& os) {
     if (os.stream.size() >= 2) {
+      ++counts.emitted;
       closed.push_back(std::move(os.stream));
     }
   };
@@ -72,6 +105,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
 
   for (const ParsedRecord& rec : records) {
     if (!rec.ok) continue;
+    ++counts.records;
 
     if (++since_sweep >= kSweepInterval) {
       since_sweep = 0;
@@ -79,6 +113,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
         auto& vec = it->second;
         for (auto sit = vec.begin(); sit != vec.end();) {
           if (rec.ts - sit->last_ts > config_.stream_timeout) {
+            ++counts.expired;
             close_stream(std::move(*sit));
             sit = vec.erase(sit);
           } else {
@@ -95,6 +130,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
     // Expire stale streams for this key first.
     for (auto it = streams.begin(); it != streams.end();) {
       if (rec.ts - it->last_ts > config_.stream_timeout) {
+        ++counts.expired;
         close_stream(std::move(*it));
         it = streams.erase(it);
       } else {
@@ -111,6 +147,9 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
       const bool duplicate =
           config_.keep_link_layer_duplicates && delta == 0;
       if (looped || duplicate) {
+        ++counts.replicas;
+        telemetry::observe(m_spacing_,
+                           static_cast<double>(rec.ts - it->last_ts));
         it->stream.replicas.push_back(
             {rec.index, rec.ts, rec.pkt.ip.ttl});
         if (looped) it->last_ttl = rec.pkt.ip.ttl;
@@ -122,6 +161,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
     if (extended) continue;
 
     // Start a new stream headed by this packet.
+    ++counts.opened;
     OpenStream os;
     os.stream.key = make_replica_key(trace[rec.index].bytes());
     os.stream.dst = rec.pkt.ip.dst;
@@ -137,6 +177,12 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
       close_stream(std::move(os));
     }
   }
+
+  telemetry::inc(m_records_, counts.records);
+  telemetry::inc(m_replicas_, counts.replicas);
+  telemetry::inc(m_streams_opened_, counts.opened);
+  telemetry::inc(m_streams_expired_, counts.expired);
+  telemetry::inc(m_streams_emitted_, counts.emitted);
 
   std::sort(closed.begin(), closed.end(),
             [](const ReplicaStream& a, const ReplicaStream& b) {

@@ -18,6 +18,7 @@
 #include "core/record.h"
 #include "core/replica_key.h"
 #include "net/time.h"
+#include "telemetry/registry.h"
 
 namespace rloop::core {
 
@@ -60,7 +61,11 @@ struct ReplicaDetectorConfig {
 
 class ReplicaDetector {
  public:
-  explicit ReplicaDetector(ReplicaDetectorConfig config = {});
+  // `registry` (optional) receives rloop_detector_* counters and the
+  // inter-replica spacing histogram; metrics resolve once here, never in
+  // detect().
+  explicit ReplicaDetector(ReplicaDetectorConfig config = {},
+                           telemetry::Registry* registry = nullptr);
 
   // Returns every stream with at least two elements, ordered by start time.
   // `records` must be parse_trace(trace); records with ok == false are
@@ -71,6 +76,12 @@ class ReplicaDetector {
 
  private:
   ReplicaDetectorConfig config_;
+  telemetry::Counter* m_records_ = nullptr;
+  telemetry::Counter* m_replicas_ = nullptr;
+  telemetry::Counter* m_streams_opened_ = nullptr;
+  telemetry::Counter* m_streams_expired_ = nullptr;
+  telemetry::Counter* m_streams_emitted_ = nullptr;
+  telemetry::Histogram* m_spacing_ = nullptr;
 };
 
 // Marks which record indices belong to any stream in `streams`.

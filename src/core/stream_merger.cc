@@ -5,7 +5,13 @@
 
 namespace rloop::core {
 
-StreamMerger::StreamMerger(MergerConfig config) : config_(config) {}
+StreamMerger::StreamMerger(MergerConfig config, telemetry::Registry* registry)
+    : config_(config),
+      m_merges_(telemetry::get_counter(
+          registry, "rloop_merger_merges_total", {},
+          "Stream pairs merged into an already-open loop")),
+      m_loops_(telemetry::get_counter(registry, "rloop_merger_loops_total", {},
+                                      "Routing loops emitted")) {}
 
 std::vector<RoutingLoop> StreamMerger::merge(
     const std::vector<ParsedRecord>& records,
@@ -48,6 +54,7 @@ std::vector<RoutingLoop> StreamMerger::merge(
         }
       }
       current.ttl_delta = best;
+      telemetry::inc(m_loops_);
       loops.push_back(current);
       open = false;
     };
@@ -60,6 +67,7 @@ std::vector<RoutingLoop> StreamMerger::merge(
                           s.start() - current.end < config_.merge_gap &&
                           !index.any_in(prefix, current.end + 1, s.start() - 1);
         if (overlaps || near) {
+          telemetry::inc(m_merges_);
           current.end = std::max(current.end, s.end());
           current.stream_indices.push_back(si);
           current.replica_count += s.size();

@@ -14,6 +14,7 @@
 #include "core/replica_detector.h"
 #include "net/prefix.h"
 #include "net/time.h"
+#include "telemetry/registry.h"
 
 namespace rloop::core {
 
@@ -37,7 +38,9 @@ struct MergerConfig {
 
 class StreamMerger {
  public:
-  explicit StreamMerger(MergerConfig config = {});
+  // `registry` (optional) receives merge and loop counters.
+  explicit StreamMerger(MergerConfig config = {},
+                        telemetry::Registry* registry = nullptr);
 
   // `valid_streams` is the validator's output; `records` the parsed trace
   // (needed to check gaps for non-looped traffic). Returns loops ordered by
@@ -48,6 +51,8 @@ class StreamMerger {
 
  private:
   MergerConfig config_;
+  telemetry::Counter* m_merges_ = nullptr;
+  telemetry::Counter* m_loops_ = nullptr;
 };
 
 }  // namespace rloop::core

@@ -2,7 +2,20 @@
 
 namespace rloop::core {
 
-StreamValidator::StreamValidator(ValidatorConfig config) : config_(config) {}
+StreamValidator::StreamValidator(ValidatorConfig config,
+                                 telemetry::Registry* registry)
+    : config_(config),
+      m_accepted_(telemetry::get_counter(
+          registry, "rloop_validator_streams_accepted_total", {},
+          "Streams surviving both validation conditions")),
+      m_rejected_small_(telemetry::get_counter(
+          registry, "rloop_validator_streams_rejected_total",
+          {{"reason", "too_small"}},
+          "Streams rejected, by validation condition")),
+      m_rejected_conflict_(telemetry::get_counter(
+          registry, "rloop_validator_streams_rejected_total",
+          {{"reason", "prefix_conflict"}},
+          "Streams rejected, by validation condition")) {}
 
 std::vector<ReplicaStream> StreamValidator::validate(
     const std::vector<ParsedRecord>& records,
@@ -21,13 +34,16 @@ std::vector<ReplicaStream> StreamValidator::validate(
   for (auto& stream : streams) {
     if (stream.size() < config_.min_replicas) {
       ++local.rejected_too_small;
+      telemetry::inc(m_rejected_small_);
       continue;
     }
     if (index.any_in(stream.dst24, stream.start(), stream.end())) {
       ++local.rejected_prefix_conflict;
+      telemetry::inc(m_rejected_conflict_);
       continue;
     }
     ++local.accepted;
+    telemetry::inc(m_accepted_);
     valid.push_back(std::move(stream));
   }
   if (stats) *stats = local;

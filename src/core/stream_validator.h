@@ -15,6 +15,7 @@
 
 #include "core/prefix_index.h"
 #include "core/replica_detector.h"
+#include "telemetry/registry.h"
 
 namespace rloop::core {
 
@@ -32,7 +33,9 @@ struct ValidationStats {
 
 class StreamValidator {
  public:
-  explicit StreamValidator(ValidatorConfig config = {});
+  // `registry` (optional) receives per-reason rejection counters.
+  explicit StreamValidator(ValidatorConfig config = {},
+                           telemetry::Registry* registry = nullptr);
 
   // `streams` is the raw output of ReplicaDetector::detect; `records` the
   // full parsed trace. Returns the surviving streams in input order and
@@ -43,6 +46,9 @@ class StreamValidator {
 
  private:
   ValidatorConfig config_;
+  telemetry::Counter* m_accepted_ = nullptr;
+  telemetry::Counter* m_rejected_small_ = nullptr;
+  telemetry::Counter* m_rejected_conflict_ = nullptr;
 };
 
 }  // namespace rloop::core

@@ -7,8 +7,26 @@
 namespace rloop::core {
 
 StreamingDetector::StreamingDetector(StreamingConfig config,
-                                     AlertCallback on_alert)
-    : config_(config), on_alert_(std::move(on_alert)) {}
+                                     AlertCallback on_alert,
+                                     telemetry::Registry* registry)
+    : config_(config),
+      on_alert_(std::move(on_alert)),
+      m_packets_(telemetry::get_counter(
+          registry, "rloop_streaming_packets_total", {},
+          "Packets fed to the streaming detector")),
+      m_parse_failures_(telemetry::get_counter(
+          registry, "rloop_streaming_parse_failures_total", {},
+          "Packets whose IP header failed to parse")),
+      m_alerts_(telemetry::get_counter(
+          registry, "rloop_streaming_alerts_total", {},
+          "Loop alerts raised (callback invocations)")),
+      m_suppressed_(telemetry::get_counter(
+          registry, "rloop_streaming_holddown_suppressed_total", {},
+          "Alerts suppressed by the per-prefix hold-down")),
+      m_open_entries_(telemetry::get_gauge(
+          registry, "rloop_streaming_open_entries", {},
+          "Replica-candidate entries currently tracked; a surge here is "
+          "the live loop signal")) {}
 
 void StreamingDetector::sweep(net::TimeNs now) {
   for (auto it = open_.begin(); it != open_.end();) {
@@ -25,6 +43,7 @@ void StreamingDetector::sweep(net::TimeNs now) {
       ++it;
     }
   }
+  telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
 }
 
 void StreamingDetector::on_packet(net::TimeNs ts,
@@ -34,6 +53,7 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   }
   last_ts_ = ts;
   ++packets_seen_;
+  telemetry::inc(m_packets_);
 
   if (++since_sweep_ >= (1u << 15)) {
     since_sweep_ = 0;
@@ -41,10 +61,14 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   }
 
   const auto parsed = net::parse_packet(bytes);
-  if (!parsed) return;
+  if (!parsed) {
+    telemetry::inc(m_parse_failures_);
+    return;
+  }
   ReplicaKey key = make_replica_key(bytes);
 
   auto [it, inserted] = open_.try_emplace(std::move(key));
+  telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
   OpenEntry& entry = it->second;
   if (inserted || ts - entry.last_ts > config_.stream_timeout) {
     entry = OpenEntry{};
@@ -78,10 +102,12 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   if (entry.replicas >= config_.min_replicas) {
     auto [alert_it, first_alert] = last_alert_.try_emplace(entry.prefix24, ts);
     if (!first_alert && ts - alert_it->second < config_.alert_holddown) {
+      telemetry::inc(m_suppressed_);
       return;
     }
     alert_it->second = ts;
     ++alerts_raised_;
+    telemetry::inc(m_alerts_);
     if (on_alert_) {
       LoopAlert alert;
       alert.prefix24 = entry.prefix24;

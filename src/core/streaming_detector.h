@@ -22,6 +22,7 @@
 #include "core/replica_key.h"
 #include "net/prefix.h"
 #include "net/time.h"
+#include "telemetry/registry.h"
 
 namespace rloop::core {
 
@@ -45,7 +46,10 @@ class StreamingDetector {
  public:
   using AlertCallback = std::function<void(const LoopAlert&)>;
 
-  StreamingDetector(StreamingConfig config, AlertCallback on_alert);
+  // `registry` (optional) receives rloop_streaming_* counters and the live
+  // open-entry gauge — the operator-facing loop-surge signal.
+  StreamingDetector(StreamingConfig config, AlertCallback on_alert,
+                    telemetry::Registry* registry = nullptr);
 
   // Feed one captured packet (bytes start at the IP header). Timestamps must
   // be non-decreasing; throws std::invalid_argument otherwise.
@@ -70,6 +74,11 @@ class StreamingDetector {
 
   StreamingConfig config_;
   AlertCallback on_alert_;
+  telemetry::Counter* m_packets_ = nullptr;
+  telemetry::Counter* m_parse_failures_ = nullptr;
+  telemetry::Counter* m_alerts_ = nullptr;
+  telemetry::Counter* m_suppressed_ = nullptr;
+  telemetry::Gauge* m_open_entries_ = nullptr;
   std::unordered_map<ReplicaKey, OpenEntry, ReplicaKeyHash> open_;
   std::unordered_map<net::Prefix, net::TimeNs> last_alert_;
   net::TimeNs last_ts_ = 0;

@@ -74,7 +74,17 @@ void write_pcap(const Trace& trace, const std::string& path) {
   if (out.fail()) throw std::runtime_error("write_pcap: write failure " + path);
 }
 
-Trace read_pcap(const std::string& path) {
+Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
+  telemetry::Counter* m_records = telemetry::get_counter(
+      registry, "rloop_pcap_records_total", {},
+      "pcap records read into the trace");
+  telemetry::Counter* m_skipped_short = telemetry::get_counter(
+      registry, "rloop_pcap_records_skipped_total",
+      {{"reason", "short_ethernet"}}, "pcap records skipped while reading");
+  telemetry::Counter* m_skipped_non_ipv4 = telemetry::get_counter(
+      registry, "rloop_pcap_records_skipped_total", {{"reason", "non_ipv4"}},
+      "pcap records skipped while reading");
+
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_pcap: cannot open " + path);
 
@@ -144,14 +154,21 @@ Trace read_pcap(const std::string& path) {
     std::size_t pkt_len = buf.size();
     std::uint32_t pkt_wire_len = wire_len;
     if (linktype == kLinktypeEthernet) {
-      if (pkt_len < kEthernetHeaderSize) continue;
-      if (get_u16be(pkt + 12) != kEtherTypeIpv4) continue;
+      if (pkt_len < kEthernetHeaderSize) {
+        telemetry::inc(m_skipped_short);
+        continue;
+      }
+      if (get_u16be(pkt + 12) != kEtherTypeIpv4) {
+        telemetry::inc(m_skipped_non_ipv4);
+        continue;
+      }
       pkt += kEthernetHeaderSize;
       pkt_len -= kEthernetHeaderSize;
       pkt_wire_len = pkt_wire_len >= kEthernetHeaderSize
                          ? pkt_wire_len - kEthernetHeaderSize
                          : 0;
     }
+    telemetry::inc(m_records);
     trace.add(ts,
               std::span<const std::byte>(
                   reinterpret_cast<const std::byte*>(pkt), pkt_len),

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/trace.h"
+#include "telemetry/registry.h"
 
 namespace rloop::net {
 
@@ -26,6 +27,9 @@ void write_pcap(const Trace& trace, const std::string& path);
 // Reads a pcap file into a Trace (capped at kSnapLen captured bytes per
 // record). The first record's absolute second becomes the trace epoch.
 // Throws std::runtime_error on I/O failure or malformed file structure.
-Trace read_pcap(const std::string& path);
+// `registry` (optional) receives rloop_pcap_records_total and per-reason
+// rloop_pcap_records_skipped_total counters.
+Trace read_pcap(const std::string& path,
+                telemetry::Registry* registry = nullptr);
 
 }  // namespace rloop::net

@@ -185,7 +185,8 @@ routing::Topology make_backbone_topology(const BackboneSpec& spec,
   return topo;
 }
 
-std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec) {
+std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec,
+                                            telemetry::Registry* registry) {
   auto run = std::make_unique<BackboneRun>();
   run->spec = spec;
 
@@ -193,6 +194,7 @@ std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec) {
   const BackboneNodes& n = run->nodes;
 
   sim::NetworkConfig net_cfg;
+  net_cfg.registry = registry;
   net_cfg.bgp.mrai_max = spec.mrai_max;
   if (spec.transit_chain) {
     // X and M are route-reflector clients: their BGP updates take an extra
@@ -297,8 +299,9 @@ void execute(BackboneRun& run) {
   run.network->run_until(run.spec.duration + 10 * net::kSecond);
 }
 
-std::unique_ptr<BackboneRun> run_backbone(int k) {
-  auto run = build_backbone(backbone_spec(k));
+std::unique_ptr<BackboneRun> run_backbone(int k,
+                                          telemetry::Registry* registry) {
+  auto run = build_backbone(backbone_spec(k), registry);
   execute(*run);
   return run;
 }

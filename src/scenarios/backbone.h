@@ -128,13 +128,17 @@ struct BackboneRun {
 };
 
 // Builds the scenario with workload and failure plan installed but nothing
-// run yet, so callers can add taps/probers before execute().
-std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec);
+// run yet, so callers can add taps/probers before execute(). `registry`
+// (optional, must outlive the run) instruments the simulated network and its
+// event queue with rloop_sim_* metrics.
+std::unique_ptr<BackboneRun> build_backbone(
+    const BackboneSpec& spec, telemetry::Registry* registry = nullptr);
 
 // Runs the simulation to spec.duration plus a drain period.
 void execute(BackboneRun& run);
 
 // build + execute for the paper's trace k.
-std::unique_ptr<BackboneRun> run_backbone(int k);
+std::unique_ptr<BackboneRun> run_backbone(
+    int k, telemetry::Registry* registry = nullptr);
 
 }  // namespace rloop::scenarios

@@ -4,11 +4,20 @@
 
 namespace rloop::sim {
 
+void EventQueue::attach_telemetry(telemetry::Registry* registry) {
+  m_dispatched_ = telemetry::get_counter(
+      registry, "rloop_sim_events_dispatched_total", {},
+      "Discrete events dispatched by the simulation queue");
+  m_depth_ = telemetry::get_gauge(registry, "rloop_sim_event_queue_depth", {},
+                                  "Events currently pending in the queue");
+}
+
 void EventQueue::schedule(net::TimeNs t, Callback fn) {
   if (t < now_) {
     throw std::invalid_argument("EventQueue::schedule: time in the past");
   }
   heap_.push({t, next_seq_++, std::move(fn)});
+  telemetry::set(m_depth_, static_cast<std::int64_t>(heap_.size()));
 }
 
 void EventQueue::pop_and_run() {
@@ -16,6 +25,8 @@ void EventQueue::pop_and_run() {
   Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
   now_ = ev.time;
+  telemetry::inc(m_dispatched_);
+  telemetry::set(m_depth_, static_cast<std::int64_t>(heap_.size()));
   ev.fn();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/time.h"
+#include "telemetry/registry.h"
 
 namespace rloop::sim {
 
@@ -19,6 +20,10 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   net::TimeNs now() const { return now_; }
+
+  // Registers the dispatch counter and queue-depth gauge with `registry`
+  // (null detaches). Call before running; metrics resolve once here.
+  void attach_telemetry(telemetry::Registry* registry);
 
   // Schedules `fn` at absolute time `t`. Throws std::invalid_argument when
   // t is in the past (t < now()).
@@ -53,6 +58,8 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   net::TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
+  telemetry::Counter* m_dispatched_ = nullptr;
+  telemetry::Gauge* m_depth_ = nullptr;
 };
 
 }  // namespace rloop::sim

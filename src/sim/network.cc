@@ -14,6 +14,30 @@ constexpr std::size_t kMaxStoredCrossings = 4'000'000;
 
 Network::Network(routing::Topology topo, std::uint64_t seed, NetworkConfig cfg)
     : topo_(std::move(topo)), cfg_(cfg), rng_(seed) {
+  if (telemetry::Registry* reg = cfg_.registry) {
+    queue_.attach_telemetry(reg);
+    const auto drop_counter = [reg](const char* reason) {
+      return reg->counter("rloop_sim_packets_dropped_total",
+                          {{"reason", reason}},
+                          "Packets dropped by the simulated network");
+    };
+    m_injected_ = reg->counter("rloop_sim_packets_injected_total", {},
+                               "Packets injected at ingress routers");
+    m_delivered_ = reg->counter("rloop_sim_packets_delivered_total", {},
+                                "Packets delivered to their destination");
+    m_forwarded_ = reg->counter("rloop_sim_packets_forwarded_total", {},
+                                "Hop-by-hop link transmissions");
+    m_dropped_ttl_ = drop_counter("ttl_expired");
+    m_dropped_queue_ = drop_counter("queue_full");
+    m_dropped_link_down_ = drop_counter("link_down");
+    m_dropped_no_route_ = drop_counter("no_route");
+    m_icmp_generated_ = reg->counter(
+        "rloop_sim_icmp_time_exceeded_total", {},
+        "ICMP time-exceeded packets originated by routers");
+    m_loop_crossings_ = reg->counter(
+        "rloop_sim_loop_crossings_total", {},
+        "Ground-truth router revisits (a packet looping right now)");
+  }
   routers_.reserve(topo_.node_count());
   for (const auto& node : topo_.nodes()) {
     routers_.emplace_back(node.id, node.loopback);
@@ -118,6 +142,7 @@ std::uint64_t Network::inject(net::ParsedPacket pkt, std::uint32_t wire_len,
   fate.injected = t;
   fates_.push_back(fate);
   ++stats_.injected;
+  telemetry::inc(m_injected_);
 
   queue_.schedule(t, [this, pkt = std::move(pkt), wire_len, ingress, id]() {
     SimPacket p;
@@ -290,15 +315,28 @@ void Network::finish_fate(std::uint64_t id, FateKind kind,
 
 void Network::deliver(SimPacket&& p, routing::NodeId at) {
   ++stats_.delivered;
+  telemetry::inc(m_delivered_);
   finish_fate(p.id, FateKind::delivered, p.loop_crossings, at);
 }
 
 void Network::drop(SimPacket&& p, FateKind kind, routing::NodeId at) {
   switch (kind) {
-    case FateKind::queue_drop: ++stats_.queue_drops; break;
-    case FateKind::link_down_drop: ++stats_.link_down_drops; break;
-    case FateKind::no_route_drop: ++stats_.no_route_drops; break;
-    case FateKind::ttl_expired: ++stats_.ttl_expired; break;
+    case FateKind::queue_drop:
+      ++stats_.queue_drops;
+      telemetry::inc(m_dropped_queue_);
+      break;
+    case FateKind::link_down_drop:
+      ++stats_.link_down_drops;
+      telemetry::inc(m_dropped_link_down_);
+      break;
+    case FateKind::no_route_drop:
+      ++stats_.no_route_drops;
+      telemetry::inc(m_dropped_no_route_);
+      break;
+    case FateKind::ttl_expired:
+      ++stats_.ttl_expired;
+      telemetry::inc(m_dropped_ttl_);
+      break;
     default: break;
   }
   finish_fate(p.id, kind, p.loop_crossings, at);
@@ -326,6 +364,7 @@ void Network::expire_ttl(SimPacket&& p, routing::NodeId at) {
       inject(std::move(icmp), /*wire_len=*/56, at, queue_.now());
   fates_.at(id).is_icmp_generated = true;
   ++stats_.icmp_generated;
+  telemetry::inc(m_icmp_generated_);
 }
 
 void Network::transmit(SimPacket&& p, routing::NodeId at,
@@ -342,6 +381,7 @@ void Network::transmit(SimPacket&& p, routing::NodeId at,
     return;
   }
 
+  telemetry::inc(m_forwarded_);
   for (auto& tap : taps_) {
     if (tap.link == link && tap.from == at) {
       tap.trace.add(timing.depart, p.hdr, p.wire_len);
@@ -359,6 +399,7 @@ void Network::arrive(SimPacket&& p, routing::NodeId at) {
   if (std::find(p.visited.begin(), p.visited.end(), at) != p.visited.end()) {
     ++p.loop_crossings;
     ++stats_.loop_crossings;
+    telemetry::inc(m_loop_crossings_);
     if (loop_crossings_.size() < kMaxStoredCrossings) {
       loop_crossings_.push_back({queue_.now(),
                                  net::Prefix::slash24(p.hdr.ip.dst), at, p.id});

@@ -30,6 +30,7 @@
 #include "sim/link.h"
 #include "sim/packet.h"
 #include "sim/router.h"
+#include "telemetry/registry.h"
 #include "util/random.h"
 
 namespace rloop::sim {
@@ -43,6 +44,9 @@ struct NetworkConfig {
   bool record_fates = true;
   routing::ConvergenceConfig igp;
   routing::BgpConfig bgp;
+  // Optional metrics sink (rloop_sim_* counters, event-queue depth gauge).
+  // Must outlive the Network.
+  telemetry::Registry* registry = nullptr;
 };
 
 enum class FateKind : std::uint8_t {
@@ -222,6 +226,15 @@ class Network {
       misconfigurations_;
   Stats stats_;
   std::uint16_t icmp_ip_id_ = 1;
+  telemetry::Counter* m_injected_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_forwarded_ = nullptr;
+  telemetry::Counter* m_dropped_ttl_ = nullptr;
+  telemetry::Counter* m_dropped_queue_ = nullptr;
+  telemetry::Counter* m_dropped_link_down_ = nullptr;
+  telemetry::Counter* m_dropped_no_route_ = nullptr;
+  telemetry::Counter* m_icmp_generated_ = nullptr;
+  telemetry::Counter* m_loop_crossings_ = nullptr;
 };
 
 }  // namespace rloop::sim

@@ -1,0 +1,43 @@
+// Shared vocabulary of the telemetry subsystem: metric kinds, label sets,
+// and the snapshot structs exporters consume.
+//
+// A metric is identified by (name, label set). Names follow the Prometheus
+// convention: `rloop_<layer>_<what>[_total|_ns]`, snake_case, with `_total`
+// for monotonic counters and `_ns` for nanosecond-valued histograms. Labels
+// carry low-cardinality dimensions only (a rejection reason, a pipeline
+// stage) — never addresses, prefixes, or anything per-flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rloop::telemetry {
+
+enum class MetricType : std::uint8_t { counter, gauge, histogram };
+
+// Ordered (key, value) pairs. Registry sorts by key on registration, so two
+// label sets written in different order are the same metric.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+// Point-in-time copy of one metric, decoupled from the live atomics so
+// exporters can format it without holding any lock.
+struct MetricSnapshot {
+  std::string name;
+  LabelSet labels;
+  MetricType type = MetricType::counter;
+  std::string help;
+
+  // counter / gauge value (counters are non-negative).
+  double value = 0.0;
+
+  // histogram only: per-bucket (non-cumulative) counts. buckets.size() ==
+  // bounds.size() + 1; the final bucket is the +Inf overflow.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+}  // namespace rloop::telemetry

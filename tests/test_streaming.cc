@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/loop_detector.h"
+#include "telemetry/registry.h"
 #include "trace_builder.h"
 
 namespace rloop::core {
@@ -15,10 +16,12 @@ struct Harness {
   std::vector<LoopAlert> alerts;
   StreamingDetector detector;
 
-  explicit Harness(StreamingConfig cfg = {})
-      : detector(cfg, [this](const LoopAlert& alert) {
-          alerts.push_back(alert);
-        }) {}
+  explicit Harness(StreamingConfig cfg = {},
+                   telemetry::Registry* registry = nullptr)
+      : detector(
+            cfg,
+            [this](const LoopAlert& alert) { alerts.push_back(alert); },
+            registry) {}
 
   void feed(const net::Trace& trace) {
     for (const auto& rec : trace.records()) {
@@ -109,6 +112,36 @@ TEST(StreamingDetector, MemoryBoundedUnderChurn) {
   }
   harness.feed(builder.trace());
   EXPECT_LT(harness.detector.open_entries(), 50'000u);
+}
+
+TEST(StreamingDetector, TelemetryCountersMatchCallbacks) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  // Same shape as HolddownSuppressesRepeatAlerts: 2 alerts fire, every
+  // other threshold crossing is suppressed by the hold-down.
+  builder.replica_stream(0, dst, 60, 7, 10, 2, net::kMillisecond);
+  builder.replica_stream(net::kSecond, dst, 60, 8, 10, 2, net::kMillisecond);
+  builder.replica_stream(2 * net::kMinute, dst, 60, 9, 10, 2,
+                         net::kMillisecond);
+
+  telemetry::Registry reg;
+  Harness harness({}, &reg);
+  harness.feed(builder.trace());
+
+  const auto alerts = reg.counter("rloop_streaming_alerts_total")->value();
+  const auto suppressed =
+      reg.counter("rloop_streaming_holddown_suppressed_total")->value();
+  EXPECT_EQ(alerts, harness.alerts.size());
+  EXPECT_EQ(alerts, harness.detector.alerts_raised());
+  // Each 10-replica stream crosses the min_replicas=3 threshold on
+  // observations 3..10 (8 crossings); every crossing either alerts or is
+  // held down.
+  EXPECT_EQ(alerts + suppressed, 3u * 8u);
+  EXPECT_EQ(reg.counter("rloop_streaming_packets_total")->value(),
+            harness.detector.packets_seen());
+  EXPECT_EQ(static_cast<std::size_t>(
+                reg.gauge("rloop_streaming_open_entries")->value()),
+            harness.detector.open_entries());
 }
 
 TEST(StreamingDetector, RejectsBackwardsTime) {
