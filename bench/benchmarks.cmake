@@ -33,3 +33,4 @@ rloop_bench(correlation_routing rloop_correlate)
 rloop_bench(persistent_loops rloop_correlate)
 rloop_bench(ablation_sampling)
 rloop_bench(bidirectional_taps)
+rloop_bench(parallel_scaling)

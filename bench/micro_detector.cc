@@ -75,6 +75,28 @@ void BM_FullPipelineTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineTelemetry)->Unit(benchmark::kMillisecond);
 
+// Sharded pipeline at N threads (0 = serial path for a same-harness
+// baseline). Output is bit-identical to serial; see bench/parallel_scaling
+// for the dedicated speedup harness.
+void BM_FullPipelineParallel(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  core::LoopDetectorConfig config;
+  config.parallel.num_threads = static_cast<unsigned>(state.range(0));
+  config.parallel.shard_bits = 4;
+  for (auto _ : state) {
+    auto result = core::detect_loops(trace, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipelineParallel)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StreamingDetector(benchmark::State& state) {
   const auto& trace = bench_trace();
   for (auto _ : state) {

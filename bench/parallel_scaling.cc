@@ -1,0 +1,93 @@
+// Parallel-pipeline scaling: serial vs N-thread throughput of the full
+// detect_loops() chain (parse -> detect -> validate -> merge) on a backbone
+// trace. The sharded path must keep output bit-identical (ctest enforces
+// that); this harness records what the parallelism buys — the acceptance
+// bar is >= 2.5x at 4 threads.
+//
+// Output ends with one machine-readable JSON line (picked up by benchmark
+// collection) carrying records/s per thread count and speedups.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/loop_detector.h"
+
+using namespace rloop;
+
+namespace {
+
+double best_seconds(const net::Trace& trace,
+                    const core::LoopDetectorConfig& config, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = core::detect_loops(trace, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    // Consume the result so the compiler cannot elide the run.
+    if (result.total_records != trace.size()) std::abort();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Parallel scaling: sharded pipeline throughput",
+      "output bit-identical to serial; >= 2.5x records/s at 4 threads");
+
+  // Backbone 3 is the largest standard trace; concatenating all four
+  // scenarios' records would change nothing about scaling shape, so one
+  // trace keeps the harness honest and fast.
+  const auto& trace = bench::cached_trace(3);
+  const auto records = static_cast<double>(trace.size());
+  constexpr int kReps = 5;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+
+  core::LoopDetectorConfig serial_config;
+  const double serial_s = best_seconds(trace, serial_config, kReps);
+  const double serial_tput = records / serial_s;
+  std::printf("\n  records: %zu\n", trace.size());
+  std::printf("  hardware threads: %u\n", hw_threads);
+  std::printf("  serial      : %8.2f ms   %10.0f records/s\n",
+              serial_s * 1e3, serial_tput);
+
+  std::string json = "{\"bench\":\"parallel_scaling\",\"records\":" +
+                     std::to_string(trace.size()) +
+                     ",\"hardware_threads\":" + std::to_string(hw_threads) +
+                     ",\"serial_records_per_s\":" + std::to_string(serial_tput);
+  bool met_bar = false;
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    core::LoopDetectorConfig config;
+    config.parallel.num_threads = threads;
+    config.parallel.shard_bits = 4;
+    const double s = best_seconds(trace, config, kReps);
+    const double tput = records / s;
+    const double speedup = serial_s / s;
+    std::printf("  %u threads   : %8.2f ms   %10.0f records/s   %.2fx\n",
+                threads, s * 1e3, tput, speedup);
+    json += ",\"threads_" + std::to_string(threads) +
+            "_records_per_s\":" + std::to_string(tput) + ",\"speedup_" +
+            std::to_string(threads) + "\":" + std::to_string(speedup);
+    if (threads == 4 && speedup >= 2.5) met_bar = true;
+  }
+  // A 2.5x speedup at 4 threads needs at least 4 hardware threads; on
+  // smaller machines (CI containers are often 1-2 vCPUs) the sharded path
+  // can only time-slice one core and the bar is unattainable, so record
+  // that the hardware — not the pipeline — capped the result.
+  const bool bar_attainable = hw_threads >= 4;
+  json += ",\"met_4thread_bar\":" + std::string(met_bar ? "true" : "false") +
+          ",\"bar_attainable\":" +
+          std::string(bar_attainable ? "true" : "false") + "}";
+  std::printf("\n  4-thread >= 2.5x bar: %s%s\n", met_bar ? "MET" : "MISSED",
+              bar_attainable
+                  ? ""
+                  : " (unattainable here: fewer than 4 hardware threads)");
+  std::printf("%s\n", json.c_str());
+  return 0;
+}

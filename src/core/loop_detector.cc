@@ -1,5 +1,9 @@
 #include "core/loop_detector.h"
 
+#include <memory>
+
+#include "util/thread_pool.h"
+
 namespace rloop::core {
 
 namespace {
@@ -25,10 +29,21 @@ std::uint64_t LoopDetectionResult::looped_packet_records() const {
 LoopDetectionResult detect_loops(const net::Trace& trace,
                                  const LoopDetectorConfig& config) {
   telemetry::Registry* reg = config.registry;
+  const bool parallel = config.parallel.enabled();
+  const unsigned num_shards = config.parallel.num_shards();
+  // The pool exists only for the duration of one parallel call; its workers
+  // park on the queue condition variable between stages.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (parallel) {
+    pool = std::make_unique<util::ThreadPool>(config.parallel.num_threads,
+                                              reg);
+  }
+
   LoopDetectionResult result;
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "parse"));
-    result.records = parse_trace(trace);
+    result.records = parallel ? parse_trace_parallel(trace, *pool)
+                              : parse_trace(trace);
     result.total_records = result.records.size();
     for (const auto& rec : result.records) {
       if (!rec.ok) ++result.parse_failures;
@@ -42,19 +57,28 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "detect"));
     const ReplicaDetector detector(config.detector, reg);
-    result.raw_streams = detector.detect(trace, result.records);
+    result.raw_streams =
+        parallel
+            ? detector.detect_sharded(trace, result.records, *pool, num_shards)
+            : detector.detect(trace, result.records);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "validate"));
     const StreamValidator validator(config.validator, reg);
-    result.valid_streams = validator.validate(result.records,
-                                              result.raw_streams,
-                                              &result.validation);
+    result.valid_streams =
+        parallel ? validator.validate_sharded(result.records,
+                                              result.raw_streams, *pool,
+                                              num_shards, &result.validation)
+                 : validator.validate(result.records, result.raw_streams,
+                                      &result.validation);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "merge"));
     const StreamMerger merger(config.merger, reg);
-    result.loops = merger.merge(result.records, result.valid_streams);
+    result.loops =
+        parallel ? merger.merge_sharded(result.records, result.valid_streams,
+                                        *pool, num_shards)
+                 : merger.merge(result.records, result.valid_streams);
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/record.h"
 #include "core/replica_detector.h"
 #include "core/stream_merger.h"
@@ -17,10 +18,19 @@ struct LoopDetectorConfig {
   ReplicaDetectorConfig detector;
   ValidatorConfig validator;
   MergerConfig merger;
+  // Sharded multi-threaded execution. num_threads <= 1 (the default) is the
+  // original serial path; > 1 runs parse, detect, validate and merge on a
+  // ThreadPool, sharded by replica-key hash (detect) and /24 prefix
+  // (validate/merge). Results are field-identical to the serial path for
+  // every thread/shard count — see parallel.h for the argument and
+  // tests/test_parallel_pipeline.cc for the proof harness.
+  ParallelConfig parallel;
   // Optional metrics sink. When set, every stage records a wall-clock
-  // latency histogram (rloop_pipeline_stage_latency_ns{stage=...}) and the
-  // stage objects register their own counters; when null the pipeline runs
-  // with zero telemetry overhead.
+  // latency histogram (rloop_pipeline_stage_latency_ns{stage=...}), the
+  // sharded path additionally records per-shard latency
+  // (rloop_pipeline_shard_latency_ns{stage=...,shard=...}) and thread-pool
+  // queue depth, and the stage objects register their own counters; when
+  // null the pipeline runs with zero telemetry overhead.
   telemetry::Registry* registry = nullptr;
 };
 

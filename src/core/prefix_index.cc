@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace rloop::core {
 
 NonLoopedIndex::NonLoopedIndex(const std::vector<ParsedRecord>& records,
@@ -13,6 +15,17 @@ NonLoopedIndex::NonLoopedIndex(const std::vector<ParsedRecord>& records,
   }
   // Records arrive in time order, so each vector is already sorted; assert
   // cheaply in debug builds by relying on binary search correctness in any().
+}
+
+NonLoopedIndex::NonLoopedIndex(const std::vector<ParsedRecord>& records,
+                               const std::vector<bool>& is_member,
+                               unsigned shard, unsigned num_shards) {
+  for (const ParsedRecord& rec : records) {
+    if (!rec.ok) continue;
+    if (is_member[rec.index]) continue;
+    if (shard_of_prefix(rec.dst24, num_shards) != shard) continue;
+    by_prefix_[rec.dst24].push_back(rec.ts);
+  }
 }
 
 bool NonLoopedIndex::any_in(const net::Prefix& prefix24, net::TimeNs from,

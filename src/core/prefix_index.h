@@ -23,6 +23,14 @@ class NonLoopedIndex {
   NonLoopedIndex(const std::vector<ParsedRecord>& records,
                  const std::vector<bool>& is_member);
 
+  // As above, restricted to records whose dst24 lands in `shard` of
+  // `num_shards` (core::shard_of_prefix). The parallel validator and merger
+  // only ever query a stream's own prefix, so the shard that owns the prefix
+  // answers exactly as the global index would.
+  NonLoopedIndex(const std::vector<ParsedRecord>& records,
+                 const std::vector<bool>& is_member, unsigned shard,
+                 unsigned num_shards);
+
   // Any non-looped packet to `prefix24` with timestamp in [from, to]?
   bool any_in(const net::Prefix& prefix24, net::TimeNs from,
               net::TimeNs to) const;

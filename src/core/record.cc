@@ -1,24 +1,54 @@
 #include "core/record.h"
 
+#include <algorithm>
+
 namespace rloop::core {
+
+namespace {
+
+ParsedRecord parse_one(const net::Trace& trace, std::size_t i) {
+  const net::TraceRecord& raw = trace[i];
+  ParsedRecord rec;
+  rec.ts = raw.ts;
+  rec.wire_len = raw.wire_len;
+  rec.cap_len = raw.cap_len;
+  rec.index = static_cast<std::uint32_t>(i);
+  if (auto parsed = net::parse_packet(raw.bytes())) {
+    rec.ok = true;
+    rec.pkt = *parsed;
+    rec.dst24 = net::Prefix::slash24(parsed->ip.dst);
+  }
+  return rec;
+}
+
+}  // namespace
 
 std::vector<ParsedRecord> parse_trace(const net::Trace& trace) {
   std::vector<ParsedRecord> records;
   records.reserve(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const net::TraceRecord& raw = trace[i];
-    ParsedRecord rec;
-    rec.ts = raw.ts;
-    rec.wire_len = raw.wire_len;
-    rec.cap_len = raw.cap_len;
-    rec.index = static_cast<std::uint32_t>(i);
-    if (auto parsed = net::parse_packet(raw.bytes())) {
-      rec.ok = true;
-      rec.pkt = *parsed;
-      rec.dst24 = net::Prefix::slash24(parsed->ip.dst);
-    }
-    records.push_back(rec);
+    records.push_back(parse_one(trace, i));
   }
+  return records;
+}
+
+std::vector<ParsedRecord> parse_trace_parallel(const net::Trace& trace,
+                                               util::ThreadPool& pool,
+                                               std::size_t chunk) {
+  const std::size_t n = trace.size();
+  if (chunk == 0) {
+    // ~4 tasks per worker so an unlucky chunk doesn't serialize the tail.
+    chunk = std::max<std::size_t>(1, n / (4 * pool.size() + 1));
+  }
+  std::vector<ParsedRecord> records(n);
+  const std::size_t tasks = (n + chunk - 1) / chunk;
+  pool.parallel_for(tasks, [&](std::size_t t) {
+    const std::size_t lo = t * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      records[i] = parse_one(trace, i);
+    }
+  });
   return records;
 }
 

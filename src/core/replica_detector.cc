@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <unordered_map>
 
 namespace rloop::core {
@@ -41,6 +42,7 @@ double ReplicaStream::mean_spacing_ns() const {
 ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config,
                                  telemetry::Registry* registry)
     : config_(config),
+      registry_(registry),
       m_records_(telemetry::get_counter(
           registry, "rloop_detector_records_total", {},
           "Parsed records scanned by the replica detector")),
@@ -69,42 +71,62 @@ struct OpenStream {
   net::TimeNs last_ts = 0;
 };
 
-}  // namespace
+struct LocalCounts {
+  std::uint64_t records = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t opened = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t emitted = 0;
 
-std::vector<ReplicaStream> ReplicaDetector::detect(
-    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
+  void add(const LocalCounts& other) {
+    records += other.records;
+    replicas += other.replicas;
+    opened += other.opened;
+    expired += other.expired;
+    emitted += other.emitted;
+  }
+};
+
+// The serial per-record state machine, factored out so the sharded path can
+// run one instance per shard: feeding a shard exactly the records whose key
+// hashes to it (in trace order) makes each instance's closed-stream set the
+// per-key-identical subset of the serial run's.
+struct DetectState {
+  DetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp)
+      : config(cfg), spacing(sp) {}
+
+  const ReplicaDetectorConfig& config;
+  telemetry::Histogram* spacing;
+
   // Several streams can be open for one key (IP ID reuse over a long trace),
   // so each key maps to a small vector of open streams.
   std::unordered_map<ReplicaKey, std::vector<OpenStream>, ReplicaKeyHash> open;
   std::vector<ReplicaStream> closed;
+  // Counters accumulate in plain locals and flush to the shared atomics once
+  // per detect() call — the per-record loop pays no atomic traffic for
+  // telemetry (only the per-match spacing histogram, and matches are rare).
+  LocalCounts counts;
 
-  // detect() is a batch call, so counters are accumulated in plain locals
-  // and flushed to the shared atomics once on return — the per-record loop
-  // pays no atomic traffic for telemetry (only the per-match spacing
-  // histogram, and matches are rare).
-  struct LocalCounts {
-    std::uint64_t records = 0;
-    std::uint64_t replicas = 0;
-    std::uint64_t opened = 0;
-    std::uint64_t expired = 0;
-    std::uint64_t emitted = 0;
-  } counts;
+  // Periodic sweep keeps the open table bounded by the packet arrival rate
+  // times the stream timeout rather than by the trace length: most entries
+  // are ordinary packets that never produce a replica. Sweep timing affects
+  // only memory and the expired counter, never which streams are emitted: a
+  // timed-out stream can no longer be extended (the per-key expiry check
+  // below closes it before any extension attempt).
+  static constexpr std::uint32_t kSweepInterval = 1 << 16;
+  std::uint32_t since_sweep = 0;
 
-  auto close_stream = [&closed, &counts](OpenStream&& os) {
+  void close_stream(OpenStream&& os) {
     if (os.stream.size() >= 2) {
       ++counts.emitted;
       closed.push_back(std::move(os.stream));
     }
-  };
+  }
 
-  // Periodic sweep keeps the open table bounded by the packet arrival rate
-  // times the stream timeout rather than by the trace length: most entries
-  // are ordinary packets that never produce a replica.
-  constexpr std::uint32_t kSweepInterval = 1 << 16;
-  std::uint32_t since_sweep = 0;
-
-  for (const ParsedRecord& rec : records) {
-    if (!rec.ok) continue;
+  // `key` must be make_replica_key over rec's captured bytes; the caller
+  // supplies it so the sharded path can reuse the hash it already computed
+  // for shard assignment instead of running FNV twice per record.
+  void process(const ParsedRecord& rec, const ReplicaKey& key) {
     ++counts.records;
 
     if (++since_sweep >= kSweepInterval) {
@@ -112,7 +134,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
       for (auto it = open.begin(); it != open.end();) {
         auto& vec = it->second;
         for (auto sit = vec.begin(); sit != vec.end();) {
-          if (rec.ts - sit->last_ts > config_.stream_timeout) {
+          if (rec.ts - sit->last_ts > config.stream_timeout) {
             ++counts.expired;
             close_stream(std::move(*sit));
             sit = vec.erase(sit);
@@ -124,12 +146,11 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
       }
     }
 
-    ReplicaKey key = make_replica_key(trace[rec.index].bytes());
-    auto& streams = open[std::move(key)];
+    auto& streams = open[key];
 
     // Expire stale streams for this key first.
     for (auto it = streams.begin(); it != streams.end();) {
-      if (rec.ts - it->last_ts > config_.stream_timeout) {
+      if (rec.ts - it->last_ts > config.stream_timeout) {
         ++counts.expired;
         close_stream(std::move(*it));
         it = streams.erase(it);
@@ -139,31 +160,26 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
     }
 
     // Try to extend the most recent compatible stream.
-    bool extended = false;
     for (auto it = streams.rbegin(); it != streams.rend(); ++it) {
       const int delta =
           static_cast<int>(it->last_ttl) - static_cast<int>(rec.pkt.ip.ttl);
-      const bool looped = delta >= config_.min_ttl_delta;
-      const bool duplicate =
-          config_.keep_link_layer_duplicates && delta == 0;
+      const bool looped = delta >= config.min_ttl_delta;
+      const bool duplicate = config.keep_link_layer_duplicates && delta == 0;
       if (looped || duplicate) {
         ++counts.replicas;
-        telemetry::observe(m_spacing_,
+        telemetry::observe(spacing,
                            static_cast<double>(rec.ts - it->last_ts));
-        it->stream.replicas.push_back(
-            {rec.index, rec.ts, rec.pkt.ip.ttl});
+        it->stream.replicas.push_back({rec.index, rec.ts, rec.pkt.ip.ttl});
         if (looped) it->last_ttl = rec.pkt.ip.ttl;
         it->last_ts = rec.ts;
-        extended = true;
-        break;
+        return;
       }
     }
-    if (extended) continue;
 
     // Start a new stream headed by this packet.
     ++counts.opened;
     OpenStream os;
-    os.stream.key = make_replica_key(trace[rec.index].bytes());
+    os.stream.key = key;
     os.stream.dst = rec.pkt.ip.dst;
     os.stream.dst24 = rec.dst24;
     os.stream.replicas.push_back({rec.index, rec.ts, rec.pkt.ip.ttl});
@@ -172,24 +188,129 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
     streams.push_back(std::move(os));
   }
 
-  for (auto& [key, streams] : open) {
-    for (auto& os : streams) {
-      close_stream(std::move(os));
+  // Closes everything still open and sorts emissions into the pipeline's
+  // canonical stream order. (start, first record index) is a strict total
+  // order — a record heads at most one stream — so sorted output does not
+  // depend on closing order, and the sharded path's merge of per-shard
+  // sorted runs reproduces the serial order exactly.
+  std::vector<ReplicaStream> finish() {
+    for (auto& [key, streams] : open) {
+      for (auto& os : streams) {
+        close_stream(std::move(os));
+      }
     }
+    open.clear();
+    std::sort(closed.begin(), closed.end(),
+              [](const ReplicaStream& a, const ReplicaStream& b) {
+                if (a.start() != b.start()) return a.start() < b.start();
+                return a.replicas.front().record_index <
+                       b.replicas.front().record_index;
+              });
+    return std::move(closed);
+  }
+};
+
+}  // namespace
+
+std::vector<ReplicaStream> ReplicaDetector::detect(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
+  DetectState state(config_, m_spacing_);
+  for (const ParsedRecord& rec : records) {
+    if (!rec.ok) continue;
+    state.process(rec, make_replica_key(trace[rec.index].bytes()));
+  }
+  auto closed = state.finish();
+
+  telemetry::inc(m_records_, state.counts.records);
+  telemetry::inc(m_replicas_, state.counts.replicas);
+  telemetry::inc(m_streams_opened_, state.counts.opened);
+  telemetry::inc(m_streams_expired_, state.counts.expired);
+  telemetry::inc(m_streams_emitted_, state.counts.emitted);
+  return closed;
+}
+
+std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records,
+    util::ThreadPool& pool, unsigned num_shards) const {
+  if (num_shards < 2) return detect(trace, records);
+
+  // Pass 1 (parallel over record chunks): normalized-header hash per
+  // record, computed once and reused both for shard assignment (pass 2) and
+  // for per-shard key construction (pass 3) — the whole sharded path runs
+  // FNV exactly once per record, same as serial.
+  std::vector<std::uint64_t> hashes(records.size(), 0);
+  {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, records.size() / (4 * pool.size() + 1));
+    const std::size_t tasks = (records.size() + chunk - 1) / chunk;
+    pool.parallel_for(tasks, [&](std::size_t t) {
+      const std::size_t lo = t * chunk;
+      const std::size_t hi = std::min(records.size(), lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!records[i].ok) continue;
+        hashes[i] = replica_key_hash(trace[records[i].index].bytes());
+      }
+    });
   }
 
-  telemetry::inc(m_records_, counts.records);
-  telemetry::inc(m_replicas_, counts.replicas);
-  telemetry::inc(m_streams_opened_, counts.opened);
-  telemetry::inc(m_streams_expired_, counts.expired);
-  telemetry::inc(m_streams_emitted_, counts.emitted);
+  // Pass 2: per-shard record-index lists, in trace (= time) order.
+  std::vector<std::vector<std::uint32_t>> shard_records(num_shards);
+  for (auto& v : shard_records) v.reserve(records.size() / num_shards + 1);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].ok) continue;
+    shard_records[shard_of_key_hash(hashes[i], num_shards)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
 
+  // Pass 3 (parallel over shards): the serial state machine per shard.
+  std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    shard_latency[s] = telemetry::get_histogram(
+        registry_, "rloop_pipeline_shard_latency_ns",
+        telemetry::latency_bounds_ns(),
+        {{"stage", "detect"}, {"shard", std::to_string(s)}},
+        "Wall-clock latency of one pipeline shard per sharded call");
+  }
+  std::vector<std::vector<ReplicaStream>> shard_closed(num_shards);
+  std::vector<LocalCounts> shard_counts(num_shards);
+  pool.parallel_for(num_shards, [&](std::size_t s) {
+    const telemetry::ScopedTimer timer(shard_latency[s]);
+    DetectState state(config_, m_spacing_);
+    for (const std::uint32_t i : shard_records[s]) {
+      // Reuse the pass-1 hash: per-shard key construction is a masked copy.
+      state.process(records[i], make_replica_key(trace[records[i].index].bytes(),
+                                                 hashes[i]));
+    }
+    shard_closed[s] = state.finish();
+    shard_counts[s] = state.counts;
+  });
+
+  // Merge: concatenate and restore the canonical (start, first record index)
+  // total order — identical to the serial sort because the comparator is a
+  // strict total order over streams.
+  LocalCounts counts;
+  std::size_t total_streams = 0;
+  for (unsigned s = 0; s < num_shards; ++s) {
+    counts.add(shard_counts[s]);
+    total_streams += shard_closed[s].size();
+  }
+  std::vector<ReplicaStream> closed;
+  closed.reserve(total_streams);
+  for (auto& shard : shard_closed) {
+    std::move(shard.begin(), shard.end(), std::back_inserter(closed));
+  }
   std::sort(closed.begin(), closed.end(),
             [](const ReplicaStream& a, const ReplicaStream& b) {
               if (a.start() != b.start()) return a.start() < b.start();
               return a.replicas.front().record_index <
                      b.replicas.front().record_index;
             });
+
+  telemetry::inc(m_records_, counts.records);
+  telemetry::inc(m_replicas_, counts.replicas);
+  telemetry::inc(m_streams_opened_, counts.opened);
+  telemetry::inc(m_streams_expired_, counts.expired);
+  telemetry::inc(m_streams_emitted_, counts.emitted);
   return closed;
 }
 

@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/record.h"
 #include "core/replica_key.h"
 #include "net/time.h"
 #include "telemetry/registry.h"
+#include "util/thread_pool.h"
 
 namespace rloop::core {
 
@@ -74,8 +76,21 @@ class ReplicaDetector {
       const net::Trace& trace,
       const std::vector<ParsedRecord>& records) const;
 
+  // Sharded detect(): partitions records by hash(ReplicaKey) % num_shards —
+  // every observation of one normalized header lands in one shard, in trace
+  // order, so per-shard streams are exactly the serial streams — runs the
+  // shards on `pool`, and merges by the same (start time, first record
+  // index) total order the serial path sorts by. Output is field-identical
+  // to detect() for any (pool size, num_shards); the streams-expired counter
+  // alone may differ, because the periodic table sweep (a memory bound, not
+  // an algorithm step) fires per shard.
+  std::vector<ReplicaStream> detect_sharded(
+      const net::Trace& trace, const std::vector<ParsedRecord>& records,
+      util::ThreadPool& pool, unsigned num_shards) const;
+
  private:
   ReplicaDetectorConfig config_;
+  telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* m_records_ = nullptr;
   telemetry::Counter* m_replicas_ = nullptr;
   telemetry::Counter* m_streams_opened_ = nullptr;

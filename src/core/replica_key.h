@@ -38,6 +38,18 @@ struct ReplicaKey {
 // checksum — participates in identity.
 ReplicaKey make_replica_key(std::span<const std::byte> captured);
 
+// Same key, but with the hash supplied by the caller (it must equal
+// replica_key_hash(captured)). Skips the FNV pass — the sharded detector
+// already hashed every record to assign shards, so per-shard key
+// construction is a masked copy only.
+ReplicaKey make_replica_key(std::span<const std::byte> captured,
+                            std::uint64_t precomputed_hash);
+
+// The hash make_replica_key(captured) would compute, without materializing
+// the normalized copy. The parallel detector uses this to assign records to
+// shards in one cheap pass before any per-shard key construction.
+std::uint64_t replica_key_hash(std::span<const std::byte> captured);
+
 struct ReplicaKeyHash {
   std::size_t operator()(const ReplicaKey& k) const noexcept {
     return static_cast<std::size_t>(k.hash);

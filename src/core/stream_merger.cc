@@ -2,16 +2,94 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 namespace rloop::core {
 
 StreamMerger::StreamMerger(MergerConfig config, telemetry::Registry* registry)
     : config_(config),
+      registry_(registry),
       m_merges_(telemetry::get_counter(
           registry, "rloop_merger_merges_total", {},
           "Stream pairs merged into an already-open loop")),
       m_loops_(telemetry::get_counter(registry, "rloop_merger_loops_total", {},
                                       "Routing loops emitted")) {}
+
+namespace {
+
+// Merges one prefix's streams (indices into `valid_streams`, any order) into
+// loops appended to `loops`. Shared verbatim by the serial and sharded paths
+// so they cannot drift; `merges` counts pairs folded into an open loop.
+void merge_prefix_group(const net::Prefix& prefix,
+                        std::vector<std::uint32_t>& indices,
+                        const std::vector<ReplicaStream>& valid_streams,
+                        const NonLoopedIndex& index, net::TimeNs merge_gap,
+                        std::vector<RoutingLoop>& loops,
+                        std::uint64_t& merges) {
+  std::sort(indices.begin(), indices.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return valid_streams[a].start() < valid_streams[b].start();
+            });
+
+  RoutingLoop current;
+  bool open = false;
+  auto flush = [&]() {
+    if (!open) return;
+    // The loop's hop count: mode of member streams' dominant deltas.
+    std::map<int, int> delta_counts;
+    for (std::uint32_t si : current.stream_indices) {
+      const int d = valid_streams[si].dominant_ttl_delta();
+      if (d > 0) ++delta_counts[d];
+    }
+    int best = 0;
+    int best_count = 0;
+    for (const auto& [delta, count] : delta_counts) {
+      if (count > best_count) {
+        best = delta;
+        best_count = count;
+      }
+    }
+    current.ttl_delta = best;
+    loops.push_back(current);
+    open = false;
+  };
+
+  for (std::uint32_t si : indices) {
+    const ReplicaStream& s = valid_streams[si];
+    if (open) {
+      const bool overlaps = s.start() <= current.end;
+      const bool near = !overlaps &&
+                        s.start() - current.end < merge_gap &&
+                        !index.any_in(prefix, current.end + 1, s.start() - 1);
+      if (overlaps || near) {
+        ++merges;
+        current.end = std::max(current.end, s.end());
+        current.stream_indices.push_back(si);
+        current.replica_count += s.size();
+        continue;
+      }
+      flush();
+    }
+    current = RoutingLoop{};
+    current.prefix24 = prefix;
+    current.start = s.start();
+    current.end = s.end();
+    current.stream_indices = {si};
+    current.replica_count = s.size();
+    open = true;
+  }
+  flush();
+}
+
+void sort_loops(std::vector<RoutingLoop>& loops) {
+  std::sort(loops.begin(), loops.end(),
+            [](const RoutingLoop& a, const RoutingLoop& b) {
+              if (a.prefix24 != b.prefix24) return a.prefix24 < b.prefix24;
+              return a.start < b.start;
+            });
+}
+
+}  // namespace
 
 std::vector<RoutingLoop> StreamMerger::merge(
     const std::vector<ParsedRecord>& records,
@@ -29,69 +107,69 @@ std::vector<RoutingLoop> StreamMerger::merge(
   }
 
   std::vector<RoutingLoop> loops;
+  std::uint64_t merges = 0;
   for (auto& [prefix, indices] : by_prefix) {
-    std::sort(indices.begin(), indices.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return valid_streams[a].start() < valid_streams[b].start();
-              });
+    merge_prefix_group(prefix, indices, valid_streams, index,
+                       config_.merge_gap, loops, merges);
+  }
+  telemetry::inc(m_merges_, merges);
+  telemetry::inc(m_loops_, loops.size());
 
-    RoutingLoop current;
-    bool open = false;
-    auto flush = [&]() {
-      if (!open) return;
-      // The loop's hop count: mode of member streams' dominant deltas.
-      std::map<int, int> delta_counts;
-      for (std::uint32_t si : current.stream_indices) {
-        const int d = valid_streams[si].dominant_ttl_delta();
-        if (d > 0) ++delta_counts[d];
-      }
-      int best = 0;
-      int best_count = 0;
-      for (const auto& [delta, count] : delta_counts) {
-        if (count > best_count) {
-          best = delta;
-          best_count = count;
-        }
-      }
-      current.ttl_delta = best;
-      telemetry::inc(m_loops_);
-      loops.push_back(current);
-      open = false;
-    };
+  sort_loops(loops);
+  return loops;
+}
 
-    for (std::uint32_t si : indices) {
-      const ReplicaStream& s = valid_streams[si];
-      if (open) {
-        const bool overlaps = s.start() <= current.end;
-        const bool near = !overlaps &&
-                          s.start() - current.end < config_.merge_gap &&
-                          !index.any_in(prefix, current.end + 1, s.start() - 1);
-        if (overlaps || near) {
-          telemetry::inc(m_merges_);
-          current.end = std::max(current.end, s.end());
-          current.stream_indices.push_back(si);
-          current.replica_count += s.size();
-          continue;
-        }
-        flush();
-      }
-      current = RoutingLoop{};
-      current.prefix24 = prefix;
-      current.start = s.start();
-      current.end = s.end();
-      current.stream_indices = {si};
-      current.replica_count = s.size();
-      open = true;
-    }
-    flush();
+std::vector<RoutingLoop> StreamMerger::merge_sharded(
+    const std::vector<ParsedRecord>& records,
+    const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+    unsigned num_shards) const {
+  if (num_shards < 2) return merge(records, valid_streams);
+
+  const auto member = stream_membership(records.size(), valid_streams);
+
+  std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    shard_latency[s] = telemetry::get_histogram(
+        registry_, "rloop_pipeline_shard_latency_ns",
+        telemetry::latency_bounds_ns(),
+        {{"stage", "merge"}, {"shard", std::to_string(s)}},
+        "Wall-clock latency of one pipeline shard per sharded call");
   }
 
-  std::sort(loops.begin(), loops.end(),
-            [](const RoutingLoop& a, const RoutingLoop& b) {
-              if (a.prefix24 != b.prefix24)
-                return a.prefix24 < b.prefix24;
-              return a.start < b.start;
-            });
+  std::vector<std::vector<RoutingLoop>> shard_loops(num_shards);
+  std::vector<std::uint64_t> shard_merges(num_shards, 0);
+  pool.parallel_for(num_shards, [&](std::size_t s) {
+    const telemetry::ScopedTimer timer(shard_latency[s]);
+    const NonLoopedIndex index(records, member, static_cast<unsigned>(s),
+                               num_shards);
+    // Group this shard's prefixes only, with global stream indices.
+    std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
+    for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
+      if (shard_of_prefix(valid_streams[i].dst24, num_shards) != s) continue;
+      by_prefix[valid_streams[i].dst24].push_back(i);
+    }
+    for (auto& [prefix, indices] : by_prefix) {
+      merge_prefix_group(prefix, indices, valid_streams, index,
+                         config_.merge_gap, shard_loops[s], shard_merges[s]);
+    }
+  });
+
+  std::vector<RoutingLoop> loops;
+  std::uint64_t merges = 0;
+  std::size_t total = 0;
+  for (unsigned s = 0; s < num_shards; ++s) total += shard_loops[s].size();
+  loops.reserve(total);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    merges += shard_merges[s];
+    std::move(shard_loops[s].begin(), shard_loops[s].end(),
+              std::back_inserter(loops));
+  }
+  telemetry::inc(m_merges_, merges);
+  telemetry::inc(m_loops_, loops.size());
+
+  // (prefix, start) is a total order — two loops for one prefix are disjoint
+  // in time — so this sort reproduces the serial output order exactly.
+  sort_loops(loops);
   return loops;
 }
 

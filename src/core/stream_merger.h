@@ -10,11 +10,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/prefix_index.h"
 #include "core/replica_detector.h"
 #include "net/prefix.h"
 #include "net/time.h"
 #include "telemetry/registry.h"
+#include "util/thread_pool.h"
 
 namespace rloop::core {
 
@@ -49,8 +51,21 @@ class StreamMerger {
       const std::vector<ParsedRecord>& records,
       const std::vector<ReplicaStream>& valid_streams) const;
 
+  // Sharded merge(): partitions prefixes across shards (merging is
+  // independent per /24 — streams of different prefixes never merge), each
+  // shard using a NonLoopedIndex of its own prefixes for the gap checks.
+  // Per-shard loops are concatenated and sorted by the same (prefix, start)
+  // total order merge() uses, so output is field-identical for any pool
+  // size and shard count. Loops' stream_indices are global indices into
+  // `valid_streams`, exactly as in the serial path.
+  std::vector<RoutingLoop> merge_sharded(
+      const std::vector<ParsedRecord>& records,
+      const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+      unsigned num_shards) const;
+
  private:
   MergerConfig config_;
+  telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* m_merges_ = nullptr;
   telemetry::Counter* m_loops_ = nullptr;
 };

@@ -1,10 +1,14 @@
 #include "core/stream_validator.h"
 
+#include <cstdint>
+#include <string>
+
 namespace rloop::core {
 
 StreamValidator::StreamValidator(ValidatorConfig config,
                                  telemetry::Registry* registry)
     : config_(config),
+      registry_(registry),
       m_accepted_(telemetry::get_counter(
           registry, "rloop_validator_streams_accepted_total", {},
           "Streams surviving both validation conditions")),
@@ -16,6 +20,21 @@ StreamValidator::StreamValidator(ValidatorConfig config,
           registry, "rloop_validator_streams_rejected_total",
           {{"reason", "prefix_conflict"}},
           "Streams rejected, by validation condition")) {}
+
+namespace {
+
+enum class Verdict : std::uint8_t { keep, too_small, prefix_conflict };
+
+Verdict judge(const ReplicaStream& stream, std::size_t min_replicas,
+              const NonLoopedIndex& index) {
+  if (stream.size() < min_replicas) return Verdict::too_small;
+  if (index.any_in(stream.dst24, stream.start(), stream.end())) {
+    return Verdict::prefix_conflict;
+  }
+  return Verdict::keep;
+}
+
+}  // namespace
 
 std::vector<ReplicaStream> StreamValidator::validate(
     const std::vector<ParsedRecord>& records,
@@ -32,20 +51,78 @@ std::vector<ReplicaStream> StreamValidator::validate(
   std::vector<ReplicaStream> valid;
   valid.reserve(streams.size());
   for (auto& stream : streams) {
-    if (stream.size() < config_.min_replicas) {
-      ++local.rejected_too_small;
-      telemetry::inc(m_rejected_small_);
-      continue;
+    switch (judge(stream, config_.min_replicas, index)) {
+      case Verdict::too_small:
+        ++local.rejected_too_small;
+        telemetry::inc(m_rejected_small_);
+        break;
+      case Verdict::prefix_conflict:
+        ++local.rejected_prefix_conflict;
+        telemetry::inc(m_rejected_conflict_);
+        break;
+      case Verdict::keep:
+        ++local.accepted;
+        telemetry::inc(m_accepted_);
+        valid.push_back(std::move(stream));
+        break;
     }
-    if (index.any_in(stream.dst24, stream.start(), stream.end())) {
-      ++local.rejected_prefix_conflict;
-      telemetry::inc(m_rejected_conflict_);
-      continue;
-    }
-    ++local.accepted;
-    telemetry::inc(m_accepted_);
-    valid.push_back(std::move(stream));
   }
+  if (stats) *stats = local;
+  return valid;
+}
+
+std::vector<ReplicaStream> StreamValidator::validate_sharded(
+    const std::vector<ParsedRecord>& records,
+    std::vector<ReplicaStream> streams, util::ThreadPool& pool,
+    unsigned num_shards, ValidationStats* stats) const {
+  if (num_shards < 2) return validate(records, std::move(streams), stats);
+
+  ValidationStats local;
+  local.input_streams = streams.size();
+  const auto member = stream_membership(records.size(), streams);
+
+  std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
+  for (unsigned s = 0; s < num_shards; ++s) {
+    shard_latency[s] = telemetry::get_histogram(
+        registry_, "rloop_pipeline_shard_latency_ns",
+        telemetry::latency_bounds_ns(),
+        {{"stage", "validate"}, {"shard", std::to_string(s)}},
+        "Wall-clock latency of one pipeline shard per sharded call");
+  }
+
+  // Each shard judges the streams whose prefix it owns, against an index of
+  // its own prefixes only. Verdict slots are disjoint across shards.
+  std::vector<Verdict> verdicts(streams.size(), Verdict::keep);
+  pool.parallel_for(num_shards, [&](std::size_t s) {
+    const telemetry::ScopedTimer timer(shard_latency[s]);
+    const NonLoopedIndex index(records, member, static_cast<unsigned>(s),
+                               num_shards);
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (shard_of_prefix(streams[i].dst24, num_shards) != s) continue;
+      verdicts[i] = judge(streams[i], config_.min_replicas, index);
+    }
+  });
+
+  // Serial assembly in input order reproduces validate()'s output exactly.
+  std::vector<ReplicaStream> valid;
+  valid.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    switch (verdicts[i]) {
+      case Verdict::too_small:
+        ++local.rejected_too_small;
+        break;
+      case Verdict::prefix_conflict:
+        ++local.rejected_prefix_conflict;
+        break;
+      case Verdict::keep:
+        ++local.accepted;
+        valid.push_back(std::move(streams[i]));
+        break;
+    }
+  }
+  telemetry::inc(m_accepted_, local.accepted);
+  telemetry::inc(m_rejected_small_, local.rejected_too_small);
+  telemetry::inc(m_rejected_conflict_, local.rejected_prefix_conflict);
   if (stats) *stats = local;
   return valid;
 }

@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/prefix_index.h"
 #include "core/replica_detector.h"
 #include "telemetry/registry.h"
+#include "util/thread_pool.h"
 
 namespace rloop::core {
 
@@ -44,8 +46,21 @@ class StreamValidator {
                                       std::vector<ReplicaStream> streams,
                                       ValidationStats* stats = nullptr) const;
 
+  // Sharded validate(): partitions by destination /24 prefix. Each shard
+  // builds a NonLoopedIndex restricted to its prefixes — the only prefix a
+  // stream's validation ever queries is its own dst24, so the restricted
+  // index answers identically to the global one — and records a keep/reject
+  // verdict per stream. Verdicts are assembled back in input order, so the
+  // output (and stats) are field-identical to validate() for any pool size
+  // and shard count.
+  std::vector<ReplicaStream> validate_sharded(
+      const std::vector<ParsedRecord>& records,
+      std::vector<ReplicaStream> streams, util::ThreadPool& pool,
+      unsigned num_shards, ValidationStats* stats = nullptr) const;
+
  private:
   ValidatorConfig config_;
+  telemetry::Registry* registry_ = nullptr;
   telemetry::Counter* m_accepted_ = nullptr;
   telemetry::Counter* m_rejected_small_ = nullptr;
   telemetry::Counter* m_rejected_conflict_ = nullptr;

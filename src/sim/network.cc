@@ -37,6 +37,9 @@ Network::Network(routing::Topology topo, std::uint64_t seed, NetworkConfig cfg)
     m_loop_crossings_ = reg->counter(
         "rloop_sim_loop_crossings_total", {},
         "Ground-truth router revisits (a packet looping right now)");
+    m_tap_crossings_ = reg->counter(
+        "rloop_sim_tap_crossings_total", {},
+        "Captured packet traversals of tapped links (detectability truth)");
   }
   routers_.reserve(topo_.node_count());
   for (const auto& node : topo_.nodes()) {
@@ -385,6 +388,12 @@ void Network::transmit(SimPacket&& p, routing::NodeId at,
   for (auto& tap : taps_) {
     if (tap.link == link && tap.from == at) {
       tap.trace.add(timing.depart, p.hdr, p.wire_len);
+      ++stats_.tap_crossings;
+      telemetry::inc(m_tap_crossings_);
+      if (tap_crossings_.size() < kMaxStoredCrossings) {
+        tap_crossings_.push_back(
+            {timing.depart, net::Prefix::slash24(p.hdr.ip.dst), at, p.id});
+      }
     }
   }
 

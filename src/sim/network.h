@@ -123,6 +123,13 @@ class Network {
   std::size_t add_tap(routing::LinkId link, routing::NodeId from_node,
                       std::string trace_name, std::int64_t epoch_unix_s);
   const net::Trace& tap_trace(std::size_t tap_index) const;
+  // Ground truth for detectability: one entry per captured traversal of a
+  // tapped link (node = transmitting router). A packet with k entries
+  // appears k times in the trace, so k >= min_replicas is exactly the
+  // paper's condition for its replica stream to survive validation.
+  const std::vector<LoopCrossing>& tap_crossings() const {
+    return tap_crossings_;
+  }
 
   // --- traffic ------------------------------------------------------------
   // Schedules injection of `pkt` at `ingress` at absolute time `t`;
@@ -166,6 +173,7 @@ class Network {
     std::uint64_t no_route_drops = 0;
     std::uint64_t icmp_generated = 0;
     std::uint64_t loop_crossings = 0;
+    std::uint64_t tap_crossings = 0;
     std::uint64_t withdraw_without_fallback = 0;
 
     std::uint64_t total_dropped() const {
@@ -220,6 +228,7 @@ class Network {
   std::unordered_map<net::Prefix, ExternalState> external_;
   std::vector<PacketFate> fates_;
   std::vector<LoopCrossing> loop_crossings_;
+  std::vector<LoopCrossing> tap_crossings_;
   std::vector<ControlEvent> control_log_;
   // (node, prefix) -> forced outgoing link, applied over computed routes.
   std::map<std::pair<routing::NodeId, net::Prefix>, routing::LinkId>
@@ -234,6 +243,7 @@ class Network {
   telemetry::Counter* m_dropped_link_down_ = nullptr;
   telemetry::Counter* m_dropped_no_route_ = nullptr;
   telemetry::Counter* m_icmp_generated_ = nullptr;
+  telemetry::Counter* m_tap_crossings_ = nullptr;
   telemetry::Counter* m_loop_crossings_ = nullptr;
 };
 

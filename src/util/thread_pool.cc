@@ -1,0 +1,96 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rloop::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads, telemetry::Registry* registry)
+    : m_queue_depth_(telemetry::get_gauge(
+          registry, "rloop_threadpool_queue_depth", {},
+          "Tasks waiting in the thread-pool queue")),
+      m_tasks_(telemetry::get_counter(
+          registry, "rloop_threadpool_tasks_total", {},
+          "Tasks submitted to the thread pool")) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    telemetry::set(m_queue_depth_, static_cast<std::int64_t>(queue_.size()));
+  }
+  telemetry::inc(m_tasks_);
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      telemetry::set(m_queue_depth_, static_cast<std::int64_t>(queue_.size()));
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1) {  // no fan-out, no synchronization
+    body(0);
+    return;
+  }
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } join{.mu = {}, .cv = {}, .remaining = n, .error = nullptr};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&join, &body, i] {
+      std::exception_ptr error;
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(join.mu);
+        if (error && !join.error) join.error = error;
+        --join.remaining;
+        // Notify while holding the mutex: the waiter owns Join on its stack
+        // and destroys it the moment wait() returns, so signalling after
+        // unlock would touch a dead condition variable.
+        join.cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.cv.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+}  // namespace rloop::util

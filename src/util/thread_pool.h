@@ -1,0 +1,63 @@
+// A small fixed-size worker pool for the sharded detection pipeline.
+//
+// The pool is deliberately minimal: a mutex-protected FIFO of
+// std::function tasks, N workers, and a blocking parallel_for. Shard fan-out
+// in this repo is coarse (tens of tasks, each scanning thousands to millions
+// of records), so queue contention is irrelevant and a lock-free deque would
+// buy nothing. Determinism note: the pool never influences *what* the
+// pipeline computes — sharded stages partition work by stable hashes and
+// merge results with total-order sorts — it only influences *when* each
+// shard runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.h"
+
+namespace rloop::util {
+
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers. `registry` (optional) receives a
+  // queue-depth gauge (rloop_threadpool_queue_depth) and a submitted-task
+  // counter (rloop_threadpool_tasks_total).
+  explicit ThreadPool(std::size_t num_threads,
+                      telemetry::Registry* registry = nullptr);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; it runs on some worker, eventually. Tasks must not
+  // throw (submit-side exceptions terminate); use parallel_for for
+  // exception-propagating fan-out.
+  void submit(std::function<void()> task);
+
+  // Runs body(0) .. body(n-1) across the pool and blocks until all have
+  // finished. The first exception thrown by any body is rethrown here after
+  // the remaining tasks drain (they still run; shard work is independent).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  telemetry::Gauge* m_queue_depth_ = nullptr;
+  telemetry::Counter* m_tasks_ = nullptr;
+};
+
+}  // namespace rloop::util

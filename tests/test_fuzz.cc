@@ -10,6 +10,8 @@
 #include "core/streaming_detector.h"
 #include "net/packet.h"
 #include "net/pcap.h"
+#include "result_equality.h"
+#include "trace_builder.h"
 #include "util/random.h"
 
 namespace rloop {
@@ -79,6 +81,95 @@ TEST(Fuzz, StreamingDetectorSurvivesGarbage) {
     t += static_cast<net::TimeNs>(rng.uniform_int(0, 100'000));
   }
   EXPECT_EQ(detector.packets_seen(), 20000u);
+}
+
+// Randomized TTL-sequence fuzzing through BOTH detector paths. Each trial
+// builds a trace from a pool of flows whose observation sequences mix every
+// TTL pattern the per-key state machine branches on — monotonic decreases
+// (loop-like), TTL increases (retransmission with IP-ID reuse), equal-TTL
+// duplicates (link-layer dups), quiet gaps exceeding stream_timeout
+// (stream splits), and IP-ID wraparound — then asserts the serial and the
+// sharded/parallel pipeline produce FIELD-IDENTICAL results and neither
+// crashes. Any divergence here would mean sharding changed the algorithm.
+TEST(Fuzz, RandomTtlSequencesSerialAndParallelNeverDiverge) {
+  using rloop::testing::TraceBuilder;
+  for (const std::uint64_t seed : {11u, 29u, 73u, 131u, 977u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    util::Rng rng(seed);
+    TraceBuilder builder;
+    net::TimeNs t = 0;
+    for (int burst = 0; burst < 120; ++burst) {
+      const net::Ipv4Addr dst(
+          static_cast<std::uint8_t>(rng.uniform_int(1, 223)),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255)), 10);
+      // Bias IP-IDs toward the wrap point so successive bursts reuse ids
+      // across the 16-bit boundary.
+      const auto ip_id = static_cast<std::uint16_t>(
+          rng.bernoulli(0.3) ? 65533 + rng.uniform_int(0, 5)
+                             : rng.uniform_int(0, 65535));
+      auto ttl = static_cast<int>(rng.uniform_int(2, 255));
+      const int len = static_cast<int>(rng.uniform_int(1, 12));
+      for (int i = 0; i < len; ++i) {
+        builder.packet(t, dst, static_cast<std::uint8_t>(ttl), ip_id);
+        switch (rng.uniform_int(0, 4)) {
+          case 0:  // loop-like monotonic decrease
+            ttl = std::max(2, ttl - static_cast<int>(rng.uniform_int(1, 3)));
+            break;
+          case 1:  // TTL increase (retransmission reusing the IP-ID)
+            ttl = std::min(255, ttl + static_cast<int>(rng.uniform_int(1, 64)));
+            break;
+          case 2:  // equal-TTL duplicate
+            break;
+          case 3:  // quiet gap past stream_timeout: forces a stream split
+            t += 11 * net::kSecond;
+            break;
+          default:
+            ttl = std::max(2, ttl - 1);
+            break;
+        }
+        t += static_cast<net::TimeNs>(rng.uniform_int(1, 2'000'000));
+      }
+      if (rng.bernoulli(0.1)) {  // interleave malformed records
+        builder.raw(t, std::vector<std::byte>(
+                           static_cast<std::size_t>(rng.uniform_int(0, 30))));
+      }
+    }
+
+    const auto serial = core::detect_loops(builder.trace());
+    for (const auto& [threads, bits] :
+         {std::pair<unsigned, unsigned>{2, 1}, {4, 4}, {8, 2}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " bits=" + std::to_string(bits));
+      core::LoopDetectorConfig config;
+      config.parallel.num_threads = threads;
+      config.parallel.shard_bits = bits;
+      const auto parallel = core::detect_loops(builder.trace(), config);
+      rloop::testing::expect_equal_results(serial, parallel);
+    }
+  }
+}
+
+// Pure-garbage traces through both paths: same no-crash guarantee as
+// DetectorSurvivesGarbageTrace, plus no serial/parallel divergence even on
+// mostly-unparseable input.
+TEST(Fuzz, GarbageTraceSerialAndParallelNeverDiverge) {
+  util::Rng rng(6);
+  net::Trace trace("garbage", 0);
+  net::TimeNs t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 45));
+    auto bytes = random_bytes(rng, n);
+    if (!bytes.empty() && rng.bernoulli(0.6)) bytes[0] = std::byte{0x45};
+    trace.add(t, bytes, static_cast<std::uint32_t>(n));
+    t += static_cast<net::TimeNs>(rng.uniform_int(0, 1'000'000));
+  }
+  const auto serial = core::detect_loops(trace);
+  core::LoopDetectorConfig config;
+  config.parallel.num_threads = 4;
+  config.parallel.shard_bits = 3;
+  const auto parallel = core::detect_loops(trace, config);
+  rloop::testing::expect_equal_results(serial, parallel);
 }
 
 TEST(Fuzz, PcapReaderRejectsGarbageFilesGracefully) {

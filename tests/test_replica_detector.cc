@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/metrics.h"
 #include "trace_builder.h"
 
 namespace rloop::core {
@@ -218,6 +221,39 @@ INSTANTIATE_TEST_SUITE_P(
     DeltasAndCounts, ReplicaSweep,
     ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
                        ::testing::Values(3, 5, 12, 24)));
+
+// Pins the contract bench/fig4_spacing.cc (and core::spacing_cdf_ms) rely
+// on: a stream with fewer than two replicas has NO spacing — the accessor
+// returns the 0.0 sentinel, which consumers must skip rather than bin as a
+// genuine zero-spacing sample in the Figure 4 CDF.
+TEST(ReplicaStreamSpacing, SubTwoReplicaStreamsHaveZeroSentinelSpacing) {
+  ReplicaStream empty;
+  EXPECT_EQ(empty.mean_spacing_ns(), 0.0);
+
+  ReplicaStream single;
+  single.replicas.push_back({/*record_index=*/0, /*ts=*/5'000, /*ttl=*/64});
+  EXPECT_EQ(single.mean_spacing_ns(), 0.0);
+
+  // With two replicas the spacing is real and nonzero.
+  ReplicaStream pair = single;
+  pair.replicas.push_back({/*record_index=*/1, /*ts=*/9'000, /*ttl=*/62});
+  EXPECT_EQ(pair.mean_spacing_ns(), 4'000.0);
+}
+
+TEST(ReplicaStreamSpacing, SpacingCdfExcludesSubTwoReplicaStreams) {
+  ReplicaStream single;
+  single.replicas.push_back({0, 1'000, 64});
+  ReplicaStream pair;
+  pair.replicas.push_back({1, 0, 64});
+  pair.replicas.push_back({2, 2'000'000, 62});  // 2 ms spacing
+  const std::vector<ReplicaStream> streams{single, pair};
+  const auto cdf = spacing_cdf_ms(streams);
+  // Only the two-replica stream contributes; a binned 0.0 from the single
+  // would show up as a bogus sample below 1 ms.
+  EXPECT_EQ(cdf.size(), 1u);
+  EXPECT_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_EQ(cdf.fraction_at_or_below(2.0), 1.0);
+}
 
 TEST(StreamMembership, MarksExactlyStreamRecords) {
   TraceBuilder builder;
