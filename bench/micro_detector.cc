@@ -75,6 +75,28 @@ void BM_FullPipelineTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineTelemetry)->Unit(benchmark::kMillisecond);
 
+// Tracing-overhead guard: pipeline with a span sink AND a decision journal
+// attached. BM_FullPipeline is the disabled-path baseline (null sink = one
+// predictable branch per span/decision site); the gap between the two pins
+// the zero-overhead claim in the docs. Sink and journal are constructed
+// outside the loop — they retain events across iterations (bounded by their
+// capacities), matching how a real run holds one sink for a whole trace.
+void BM_FullPipelineTraced(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  telemetry::TraceSink sink;
+  telemetry::DecisionLog journal;
+  core::LoopDetectorConfig config;
+  config.trace = &sink;
+  config.journal = &journal;
+  for (auto _ : state) {
+    auto result = core::detect_loops(trace, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_FullPipelineTraced)->Unit(benchmark::kMillisecond);
+
 // Sharded pipeline at N threads (0 = serial path for a same-harness
 // baseline). Output is bit-identical to serial; see bench/parallel_scaling
 // for the dedicated speedup harness.

@@ -1,14 +1,17 @@
 // backbone_study: the paper's full measurement study on the four simulated
 // backbone traces — Table I, Table II and the data behind Figures 2-9.
 //
-// Usage: backbone_study [--threads N] [output_dir]
+// Usage: backbone_study [--threads N] [--trace-out spans.json] [output_dir]
 // When an output directory is given, each trace is written as a pcap file
 // and every figure's data as CSV, for external re-plotting. --threads N
 // runs detection through the sharded parallel pipeline (N worker threads);
-// results are bit-identical to the default serial path.
+// results are bit-identical to the default serial path. --trace-out writes
+// every pipeline span (all four runs) as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -21,6 +24,7 @@
 #include "core/metrics.h"
 #include "net/pcap.h"
 #include "scenarios/backbone.h"
+#include "telemetry/trace.h"
 
 using namespace rloop;
 
@@ -84,6 +88,7 @@ void write_figures(const std::string& dir, int k,
 
 int main(int argc, char** argv) {
   std::string out_dir;
+  std::string trace_out;
   unsigned num_threads = 0;  // 0 = serial pipeline
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,18 +102,28 @@ int main(int argc, char** argv) {
       num_threads = static_cast<unsigned>(
           std::strtoul(arg.c_str() + std::string("--threads=").size(), nullptr,
                        10));
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a path\n");
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown option %s\nusage: backbone_study [--threads N] "
-                   "[output_dir]\n",
+                   "[--trace-out spans.json] [output_dir]\n",
                    arg.c_str());
       return 2;
     } else {
       out_dir = arg;
     }
   }
+  telemetry::TraceSink trace_sink;
   core::LoopDetectorConfig detector_config;
   detector_config.parallel.num_threads = num_threads;
+  if (!trace_out.empty()) detector_config.trace = &trace_sink;
   if (num_threads > 0) {
     std::printf("parallel pipeline: %u threads (output identical to serial)\n",
                 num_threads);
@@ -172,6 +187,16 @@ int main(int argc, char** argv) {
   table2.print(std::cout);
   if (!out_dir.empty()) {
     std::printf("\npcap + figure CSVs written to %s/\n", out_dir.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_out.c_str());
+      return 1;
+    }
+    out << trace_sink.chrome_trace_json();
+    std::printf("%zu pipeline spans written to %s (open in ui.perfetto.dev)\n",
+                trace_sink.size(), trace_out.c_str());
   }
   return 0;
 }

@@ -1,75 +1,185 @@
 // loop_forensics: the operator's post-mortem view.
 //
-// Simulates Backbone 2, detects loops in its tapped trace, classifies each
-// as transient or persistent, and — using the control-plane feed the paper
-// proposed collecting as future work — prints WHY each loop happened (which
-// withdrawal/failure, and how long convergence took to reach the monitored
-// link). Also demonstrates prefix-preserving anonymization: the analysis is
-// re-run on an anonymized copy of the trace and shown to be unchanged.
+// Simulates Backbone 2 (or reads a pcap when a path is given), detects loops
+// in the trace, classifies each as transient or persistent, and — using the
+// control-plane feed the paper proposed collecting as future work — prints
+// WHY each loop happened (which withdrawal/failure, and how long convergence
+// took to reach the monitored link). Also demonstrates prefix-preserving
+// anonymization: the analysis is re-run on an anonymized copy of the trace
+// and shown to be unchanged.
 //
-// Usage: loop_forensics
+// Usage: loop_forensics [--threads N] [--explain PREFIX] [trace.pcap]
+//   --threads N       run detection on the sharded parallel pipeline
+//   --explain PREFIX  print the decision journal's causal chain for one /24
+//                     ("198.96.38.0/24" or a bare address inside it): every
+//                     replica match, validation verdict and merge decision,
+//                     with its typed reason and evidence
+// With a pcap argument the correlation and anonymization sections are
+// skipped (they need the simulator's ground truth).
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "analysis/table.h"
 #include "core/classify.h"
 #include "core/loop_detector.h"
 #include "correlate/correlate.h"
 #include "net/anonymize.h"
+#include "net/pcap.h"
 #include "scenarios/backbone.h"
+#include "telemetry/decision_log.h"
 
 using namespace rloop;
 
-int main() {
-  std::printf("simulating Backbone 2 ...\n");
-  auto run = scenarios::run_backbone(2);
-  const net::Trace& trace = run->trace();
+int main(int argc, char** argv) {
+  unsigned num_threads = 0;  // 0 = serial pipeline
+  std::string explain_arg;
+  std::string pcap_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        return 2;
+      }
+      num_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + std::string("--threads=").size(), nullptr,
+                       10));
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--explain requires a prefix\n");
+        return 2;
+      }
+      explain_arg = argv[++i];
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      explain_arg = arg.substr(std::string("--explain=").size());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown option %s\nusage: loop_forensics [--threads N] "
+                   "[--explain PREFIX] [trace.pcap]\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      pcap_path = arg;
+    }
+  }
 
-  const auto result = core::detect_loops(trace);
+  // A bare address means "the /24 containing it".
+  std::optional<net::Prefix> explain_prefix;
+  if (!explain_arg.empty()) {
+    explain_prefix = net::Prefix::parse(
+        explain_arg.find('/') == std::string::npos ? explain_arg + "/24"
+                                                   : explain_arg);
+    if (!explain_prefix) {
+      std::fprintf(stderr, "--explain: cannot parse prefix '%s'\n",
+                   explain_arg.c_str());
+      return 2;
+    }
+    if (explain_prefix->len != 24) {
+      std::fprintf(stderr, "--explain: want a /24, got %s\n",
+                   explain_prefix->to_string().c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<scenarios::BackboneRun> run;
+  net::Trace loaded;
+  if (pcap_path.empty()) {
+    std::printf("simulating Backbone 2 ...\n");
+    run = scenarios::run_backbone(2);
+  } else {
+    std::printf("reading %s ...\n", pcap_path.c_str());
+    loaded = net::read_pcap(pcap_path);
+  }
+  const net::Trace& trace = run ? run->trace() : loaded;
+
+  // The journal is always attached: forensics is exactly the workload the
+  // flight recorder exists for.
+  telemetry::DecisionLog journal;
+  core::LoopDetectorConfig detector_config;
+  detector_config.parallel.num_threads = num_threads;
+  detector_config.journal = &journal;
+  if (num_threads > 0) {
+    std::printf("parallel pipeline: %u threads (output identical to serial)\n",
+                num_threads);
+  }
+
+  const auto result = core::detect_loops(trace, detector_config);
   const auto classified = core::classify_loops(
       result.loops, trace.empty() ? 0 : trace.records().back().ts);
-  const auto explanations =
-      correlate::explain_loops(result.loops, run->network->control_log());
 
   std::printf("%zu packets captured, %zu replica streams, %zu loops\n\n",
               trace.size(), result.valid_streams.size(), result.loops.size());
 
-  analysis::TextTable table({"#", "Prefix", "Start", "Duration", "Delta",
-                             "Class", "Cause", "Onset"});
-  for (std::size_t i = 0; i < result.loops.size(); ++i) {
-    const auto& loop = result.loops[i];
-    const auto& ex = explanations[i];
-    table.add_row(
-        {std::to_string(i),
-         loop.prefix24.to_string(),
-         analysis::format_double(net::to_seconds(loop.start), 1) + "s",
-         analysis::format_double(net::to_seconds(loop.duration()), 2) + "s",
-         std::to_string(loop.ttl_delta),
-         classified.classes[i] == core::LoopClass::persistent ? "persistent"
-                                                              : "transient",
-         correlate::cause_name(ex.cause),
-         ex.cause == correlate::Cause::unexplained
-             ? "-"
-             : analysis::format_double(net::to_seconds(ex.onset_latency), 2) +
-                   "s"});
+  if (run) {
+    const auto explanations =
+        correlate::explain_loops(result.loops, run->network->control_log());
+
+    analysis::TextTable table({"#", "Prefix", "Start", "Duration", "Delta",
+                               "Class", "Cause", "Onset"});
+    for (std::size_t i = 0; i < result.loops.size(); ++i) {
+      const auto& loop = result.loops[i];
+      const auto& ex = explanations[i];
+      table.add_row(
+          {std::to_string(i),
+           loop.prefix24.to_string(),
+           analysis::format_double(net::to_seconds(loop.start), 1) + "s",
+           analysis::format_double(net::to_seconds(loop.duration()), 2) + "s",
+           std::to_string(loop.ttl_delta),
+           classified.classes[i] == core::LoopClass::persistent ? "persistent"
+                                                                : "transient",
+           correlate::cause_name(ex.cause),
+           ex.cause == correlate::Cause::unexplained
+               ? "-"
+               : analysis::format_double(net::to_seconds(ex.onset_latency), 2) +
+                     "s"});
+    }
+    table.print(std::cout);
+
+    const auto summary = correlate::summarize(explanations);
+    std::printf("\nexplained from routing data: %s (mean onset %.2f s)\n",
+                analysis::format_percent(summary.explained_fraction()).c_str(),
+                summary.mean_onset_latency_s);
+  } else {
+    analysis::TextTable table(
+        {"#", "Prefix", "Start", "Duration", "Delta", "Class"});
+    for (std::size_t i = 0; i < result.loops.size(); ++i) {
+      const auto& loop = result.loops[i];
+      table.add_row(
+          {std::to_string(i),
+           loop.prefix24.to_string(),
+           analysis::format_double(net::to_seconds(loop.start), 1) + "s",
+           analysis::format_double(net::to_seconds(loop.duration()), 2) + "s",
+           std::to_string(loop.ttl_delta),
+           classified.classes[i] == core::LoopClass::persistent
+               ? "persistent"
+               : "transient"});
+    }
+    table.print(std::cout);
   }
-  table.print(std::cout);
 
-  const auto summary = correlate::summarize(explanations);
-  std::printf("\nexplained from routing data: %s (mean onset %.2f s)\n",
-              analysis::format_percent(summary.explained_fraction()).c_str(),
-              summary.mean_onset_latency_s);
+  if (explain_prefix) {
+    std::printf("\n");
+    std::fputs(journal.explain(*explain_prefix).c_str(), stdout);
+  }
 
-  // Anonymization demo: identical analysis on a shareable trace.
-  std::printf("\nanonymizing trace (prefix-preserving) and re-running ...\n");
-  const net::Anonymizer anonymizer(0x5eed);
-  const auto anon_result = core::detect_loops(anonymizer.anonymize(trace));
-  std::printf("anonymized trace: %zu streams, %zu loops (%s original)\n",
-              anon_result.valid_streams.size(), anon_result.loops.size(),
-              anon_result.loops.size() == result.loops.size() &&
-                      anon_result.valid_streams.size() ==
-                          result.valid_streams.size()
-                  ? "matches"
-                  : "DIFFERS FROM");
+  if (run && !explain_prefix) {
+    // Anonymization demo: identical analysis on a shareable trace.
+    std::printf("\nanonymizing trace (prefix-preserving) and re-running ...\n");
+    const net::Anonymizer anonymizer(0x5eed);
+    const auto anon_result = core::detect_loops(anonymizer.anonymize(trace));
+    std::printf("anonymized trace: %zu streams, %zu loops (%s original)\n",
+                anon_result.valid_streams.size(), anon_result.loops.size(),
+                anon_result.loops.size() == result.loops.size() &&
+                        anon_result.valid_streams.size() ==
+                            result.valid_streams.size()
+                    ? "matches"
+                    : "DIFFERS FROM");
+  }
   return 0;
 }

@@ -36,12 +36,14 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
   std::unique_ptr<util::ThreadPool> pool;
   if (parallel) {
     pool = std::make_unique<util::ThreadPool>(config.parallel.num_threads,
-                                              reg);
+                                              reg, config.trace);
   }
 
   LoopDetectionResult result;
+  const telemetry::ScopedSpan root_span(config.trace, "detect_loops");
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "parse"));
+    const telemetry::ScopedSpan span(config.trace, "parse");
     result.records = parallel ? parse_trace_parallel(trace, *pool)
                               : parse_trace(trace);
     result.total_records = result.records.size();
@@ -56,7 +58,8 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
 
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "detect"));
-    const ReplicaDetector detector(config.detector, reg);
+    const telemetry::ScopedSpan span(config.trace, "detect");
+    const ReplicaDetector detector(config.detector, reg, config.journal);
     result.raw_streams =
         parallel
             ? detector.detect_sharded(trace, result.records, *pool, num_shards)
@@ -64,7 +67,8 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "validate"));
-    const StreamValidator validator(config.validator, reg);
+    const telemetry::ScopedSpan span(config.trace, "validate");
+    const StreamValidator validator(config.validator, reg, config.journal);
     result.valid_streams =
         parallel ? validator.validate_sharded(result.records,
                                               result.raw_streams, *pool,
@@ -74,7 +78,8 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "merge"));
-    const StreamMerger merger(config.merger, reg);
+    const telemetry::ScopedSpan span(config.trace, "merge");
+    const StreamMerger merger(config.merger, reg, config.journal);
     result.loops =
         parallel ? merger.merge_sharded(result.records, result.valid_streams,
                                         *pool, num_shards)

@@ -10,7 +10,9 @@
 #include "core/stream_merger.h"
 #include "core/stream_validator.h"
 #include "net/trace.h"
+#include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace rloop::core {
 
@@ -32,6 +34,15 @@ struct LoopDetectorConfig {
   // queue depth, and the stage objects register their own counters; when
   // null the pipeline runs with zero telemetry overhead.
   telemetry::Registry* registry = nullptr;
+  // Optional span sink: a root "detect_loops" span, one span per stage
+  // (parse/detect/validate/merge), and one span per parallel_for task
+  // (parse_chunk/hash_chunk/detect_shard/validate_shard/merge_shard),
+  // exportable as Chrome trace-event JSON (TraceSink::chrome_trace_json).
+  // Null costs one predictable branch per would-be span.
+  telemetry::TraceSink* trace = nullptr;
+  // Optional decision journal: every stage records its per-stream /
+  // per-replica-match verdicts with typed reasons (see decision_log.h).
+  telemetry::DecisionLog* journal = nullptr;
 };
 
 struct LoopDetectionResult {

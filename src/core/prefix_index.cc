@@ -37,4 +37,15 @@ bool NonLoopedIndex::any_in(const net::Prefix& prefix24, net::TimeNs from,
   return lo != times.end() && *lo <= to;
 }
 
+std::optional<net::TimeNs> NonLoopedIndex::first_in(const net::Prefix& prefix24,
+                                                    net::TimeNs from,
+                                                    net::TimeNs to) const {
+  const auto it = by_prefix_.find(prefix24);
+  if (it == by_prefix_.end()) return std::nullopt;
+  const auto& times = it->second;
+  const auto lo = std::lower_bound(times.begin(), times.end(), from);
+  if (lo == times.end() || *lo > to) return std::nullopt;
+  return *lo;
+}
+
 }  // namespace rloop::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,11 @@ class NonLoopedIndex {
   // Any non-looped packet to `prefix24` with timestamp in [from, to]?
   bool any_in(const net::Prefix& prefix24, net::TimeNs from,
               net::TimeNs to) const;
+
+  // Timestamp of the earliest such packet, for decision-journal evidence
+  // ("which packet refuted the loop?"). nullopt when any_in() is false.
+  std::optional<net::TimeNs> first_in(const net::Prefix& prefix24,
+                                      net::TimeNs from, net::TimeNs to) const;
 
   std::size_t prefix_count() const { return by_prefix_.size(); }
 

@@ -48,7 +48,7 @@ std::vector<ParsedRecord> parse_trace_parallel(const net::Trace& trace,
     for (std::size_t i = lo; i < hi; ++i) {
       records[i] = parse_one(trace, i);
     }
-  });
+  }, "parse_chunk");
   return records;
 }
 

@@ -40,9 +40,11 @@ double ReplicaStream::mean_spacing_ns() const {
 }
 
 ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config,
-                                 telemetry::Registry* registry)
+                                 telemetry::Registry* registry,
+                                 telemetry::DecisionLog* journal)
     : config_(config),
       registry_(registry),
+      journal_(journal),
       m_records_(telemetry::get_counter(
           registry, "rloop_detector_records_total", {},
           "Parsed records scanned by the replica detector")),
@@ -92,11 +94,13 @@ struct LocalCounts {
 // hashes to it (in trace order) makes each instance's closed-stream set the
 // per-key-identical subset of the serial run's.
 struct DetectState {
-  DetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp)
-      : config(cfg), spacing(sp) {}
+  DetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp,
+              telemetry::DecisionLog* jl)
+      : config(cfg), spacing(sp), journal(jl) {}
 
   const ReplicaDetectorConfig& config;
   telemetry::Histogram* spacing;
+  telemetry::DecisionLog* journal;
 
   // Several streams can be open for one key (IP ID reuse over a long trace),
   // so each key maps to a small vector of open streams.
@@ -119,6 +123,14 @@ struct DetectState {
   void close_stream(OpenStream&& os) {
     if (os.stream.size() >= 2) {
       ++counts.emitted;
+      telemetry::record(
+          journal,
+          {.kind = telemetry::DecisionKind::stream_emitted,
+           .dst24 = os.stream.dst24,
+           .ts = os.stream.end(),
+           .record_index = os.stream.replicas.front().record_index,
+           .detail = static_cast<std::int64_t>(os.stream.size()),
+           .detail2 = os.stream.start()});
       closed.push_back(std::move(os.stream));
     }
   }
@@ -172,8 +184,28 @@ struct DetectState {
         it->stream.replicas.push_back({rec.index, rec.ts, rec.pkt.ip.ttl});
         if (looped) it->last_ttl = rec.pkt.ip.ttl;
         it->last_ts = rec.ts;
+        telemetry::record(
+            journal, {.kind = telemetry::DecisionKind::replica_accepted,
+                      .dst24 = rec.dst24,
+                      .ts = rec.ts,
+                      .record_index = rec.index,
+                      .detail = delta,
+                      .detail2 = static_cast<std::int64_t>(it->stream.size())});
         return;
       }
+    }
+
+    // A live candidate stream existed for this exact header, but the TTL
+    // delta disqualified the observation — the one per-packet negative
+    // decision worth journaling (first-seen packets are non-decisions).
+    if (!streams.empty()) {
+      telemetry::record(
+          journal, {.kind = telemetry::DecisionKind::replica_rejected,
+                    .dst24 = rec.dst24,
+                    .ts = rec.ts,
+                    .record_index = rec.index,
+                    .detail = static_cast<int>(streams.back().last_ttl) -
+                              static_cast<int>(rec.pkt.ip.ttl)});
     }
 
     // Start a new stream headed by this packet.
@@ -214,7 +246,7 @@ struct DetectState {
 
 std::vector<ReplicaStream> ReplicaDetector::detect(
     const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
-  DetectState state(config_, m_spacing_);
+  DetectState state(config_, m_spacing_, journal_);
   for (const ParsedRecord& rec : records) {
     if (!rec.ok) continue;
     state.process(rec, make_replica_key(trace[rec.index].bytes()));
@@ -250,7 +282,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
         if (!records[i].ok) continue;
         hashes[i] = replica_key_hash(trace[records[i].index].bytes());
       }
-    });
+    }, "hash_chunk");
   }
 
   // Pass 2: per-shard record-index lists, in trace (= time) order.
@@ -275,7 +307,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
   std::vector<LocalCounts> shard_counts(num_shards);
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    DetectState state(config_, m_spacing_);
+    DetectState state(config_, m_spacing_, journal_);
     for (const std::uint32_t i : shard_records[s]) {
       // Reuse the pass-1 hash: per-shard key construction is a masked copy.
       state.process(records[i], make_replica_key(trace[records[i].index].bytes(),
@@ -283,7 +315,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
     }
     shard_closed[s] = state.finish();
     shard_counts[s] = state.counts;
-  });
+  }, "detect_shard");
 
   // Merge: concatenate and restore the canonical (start, first record index)
   // total order — identical to the serial sort because the comparator is a

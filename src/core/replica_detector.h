@@ -19,6 +19,7 @@
 #include "core/record.h"
 #include "core/replica_key.h"
 #include "net/time.h"
+#include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
 #include "util/thread_pool.h"
 
@@ -65,9 +66,14 @@ class ReplicaDetector {
  public:
   // `registry` (optional) receives rloop_detector_* counters and the
   // inter-replica spacing histogram; metrics resolve once here, never in
-  // detect().
+  // detect(). `journal` (optional) receives per-match decisions: a
+  // replica_accepted / replica_rejected event for every observation that had
+  // an open candidate stream, and a stream_emitted event per closed stream
+  // (ordinary first-seen packets are not journaled — they would flood the
+  // ring with non-decisions).
   explicit ReplicaDetector(ReplicaDetectorConfig config = {},
-                           telemetry::Registry* registry = nullptr);
+                           telemetry::Registry* registry = nullptr,
+                           telemetry::DecisionLog* journal = nullptr);
 
   // Returns every stream with at least two elements, ordered by start time.
   // `records` must be parse_trace(trace); records with ok == false are
@@ -91,6 +97,7 @@ class ReplicaDetector {
  private:
   ReplicaDetectorConfig config_;
   telemetry::Registry* registry_ = nullptr;
+  telemetry::DecisionLog* journal_ = nullptr;
   telemetry::Counter* m_records_ = nullptr;
   telemetry::Counter* m_replicas_ = nullptr;
   telemetry::Counter* m_streams_opened_ = nullptr;

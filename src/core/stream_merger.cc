@@ -6,9 +6,11 @@
 
 namespace rloop::core {
 
-StreamMerger::StreamMerger(MergerConfig config, telemetry::Registry* registry)
+StreamMerger::StreamMerger(MergerConfig config, telemetry::Registry* registry,
+                           telemetry::DecisionLog* journal)
     : config_(config),
       registry_(registry),
+      journal_(journal),
       m_merges_(telemetry::get_counter(
           registry, "rloop_merger_merges_total", {},
           "Stream pairs merged into an already-open loop")),
@@ -25,7 +27,8 @@ void merge_prefix_group(const net::Prefix& prefix,
                         const std::vector<ReplicaStream>& valid_streams,
                         const NonLoopedIndex& index, net::TimeNs merge_gap,
                         std::vector<RoutingLoop>& loops,
-                        std::uint64_t& merges) {
+                        std::uint64_t& merges,
+                        telemetry::DecisionLog* journal) {
   std::sort(indices.begin(), indices.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               return valid_streams[a].start() < valid_streams[b].start();
@@ -50,23 +53,64 @@ void merge_prefix_group(const net::Prefix& prefix,
       }
     }
     current.ttl_delta = best;
+    telemetry::record(
+        journal,
+        {.kind = telemetry::DecisionKind::loop_emitted,
+         .dst24 = prefix,
+         .ts = current.end,
+         .record_index = valid_streams[current.stream_indices.front()]
+                             .replicas.front()
+                             .record_index,
+         .detail = static_cast<std::int64_t>(current.stream_count()),
+         .detail2 = static_cast<std::int64_t>(current.replica_count)});
     loops.push_back(current);
     open = false;
   };
 
   for (std::uint32_t si : indices) {
     const ReplicaStream& s = valid_streams[si];
+    const std::uint32_t rec = s.replicas.front().record_index;
     if (open) {
       const bool overlaps = s.start() <= current.end;
-      const bool near = !overlaps &&
-                        s.start() - current.end < merge_gap &&
-                        !index.any_in(prefix, current.end + 1, s.start() - 1);
+      const net::TimeNs gap = overlaps ? 0 : s.start() - current.end;
+      // first_in doubles as the any_in check and the journal's evidence
+      // (which healthy packet proved the loop healed inside the gap).
+      const auto healthy =
+          overlaps || gap >= merge_gap
+              ? std::nullopt
+              : index.first_in(prefix, current.end + 1, s.start() - 1);
+      const bool near = !overlaps && gap < merge_gap && !healthy;
       if (overlaps || near) {
         ++merges;
         current.end = std::max(current.end, s.end());
         current.stream_indices.push_back(si);
         current.replica_count += s.size();
+        telemetry::record(
+            journal,
+            {.kind = telemetry::DecisionKind::loop_extended,
+             .dst24 = prefix,
+             .ts = s.end(),
+             .record_index = rec,
+             .detail = gap,
+             .detail2 = static_cast<std::int64_t>(current.stream_count())});
         continue;
+      }
+      if (journal) {
+        if (healthy) {
+          journal->record({.kind = telemetry::DecisionKind::loop_split_healthy,
+                           .dst24 = prefix,
+                           .ts = s.end(),
+                           .record_index = rec,
+                           .detail = gap,
+                           .detail2 = *healthy});
+        } else {
+          journal->record({.kind = telemetry::DecisionKind::loop_split_gap,
+                           .dst24 = prefix,
+                           .ts = s.end(),
+                           .record_index = rec,
+                           .detail = gap,
+                           .detail2 = merge_gap});
+        }
       }
       flush();
     }
@@ -110,7 +154,7 @@ std::vector<RoutingLoop> StreamMerger::merge(
   std::uint64_t merges = 0;
   for (auto& [prefix, indices] : by_prefix) {
     merge_prefix_group(prefix, indices, valid_streams, index,
-                       config_.merge_gap, loops, merges);
+                       config_.merge_gap, loops, merges, journal_);
   }
   telemetry::inc(m_merges_, merges);
   telemetry::inc(m_loops_, loops.size());
@@ -150,9 +194,10 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded(
     }
     for (auto& [prefix, indices] : by_prefix) {
       merge_prefix_group(prefix, indices, valid_streams, index,
-                         config_.merge_gap, shard_loops[s], shard_merges[s]);
+                         config_.merge_gap, shard_loops[s], shard_merges[s],
+                         journal_);
     }
-  });
+  }, "merge_shard");
 
   std::vector<RoutingLoop> loops;
   std::uint64_t merges = 0;

@@ -15,6 +15,7 @@
 #include "core/replica_detector.h"
 #include "net/prefix.h"
 #include "net/time.h"
+#include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
 #include "util/thread_pool.h"
 
@@ -40,9 +41,13 @@ struct MergerConfig {
 
 class StreamMerger {
  public:
-  // `registry` (optional) receives merge and loop counters.
+  // `registry` (optional) receives merge and loop counters. `journal`
+  // (optional) receives one event per merge decision: loop_extended when a
+  // stream folds into an open loop, loop_split_gap / loop_split_healthy when
+  // it cannot (with the gap and refuting evidence), loop_emitted per loop.
   explicit StreamMerger(MergerConfig config = {},
-                        telemetry::Registry* registry = nullptr);
+                        telemetry::Registry* registry = nullptr,
+                        telemetry::DecisionLog* journal = nullptr);
 
   // `valid_streams` is the validator's output; `records` the parsed trace
   // (needed to check gaps for non-looped traffic). Returns loops ordered by
@@ -66,6 +71,7 @@ class StreamMerger {
  private:
   MergerConfig config_;
   telemetry::Registry* registry_ = nullptr;
+  telemetry::DecisionLog* journal_ = nullptr;
   telemetry::Counter* m_merges_ = nullptr;
   telemetry::Counter* m_loops_ = nullptr;
 };

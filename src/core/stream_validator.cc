@@ -6,9 +6,11 @@
 namespace rloop::core {
 
 StreamValidator::StreamValidator(ValidatorConfig config,
-                                 telemetry::Registry* registry)
+                                 telemetry::Registry* registry,
+                                 telemetry::DecisionLog* journal)
     : config_(config),
       registry_(registry),
+      journal_(journal),
       m_accepted_(telemetry::get_counter(
           registry, "rloop_validator_streams_accepted_total", {},
           "Streams surviving both validation conditions")),
@@ -25,11 +27,46 @@ namespace {
 
 enum class Verdict : std::uint8_t { keep, too_small, prefix_conflict };
 
+// Verdict events carry the stream's END time so they sort after the
+// replica-level evidence in the journal's causal chain. A rejection also
+// fires the flight-recorder auto-dump (no-op unless enabled).
 Verdict judge(const ReplicaStream& stream, std::size_t min_replicas,
-              const NonLoopedIndex& index) {
-  if (stream.size() < min_replicas) return Verdict::too_small;
-  if (index.any_in(stream.dst24, stream.start(), stream.end())) {
+              const NonLoopedIndex& index, telemetry::DecisionLog* journal) {
+  const auto rec = stream.replicas.front().record_index;
+  if (stream.size() < min_replicas) {
+    if (journal) {
+      journal->record(
+          {.kind = telemetry::DecisionKind::stream_rejected_min_replicas,
+           .dst24 = stream.dst24,
+           .ts = stream.end(),
+           .record_index = rec,
+           .detail = static_cast<std::int64_t>(stream.size()),
+           .detail2 = static_cast<std::int64_t>(min_replicas)});
+      journal->on_validation_reject(stream.dst24);
+    }
+    return Verdict::too_small;
+  }
+  const auto refuting =
+      index.first_in(stream.dst24, stream.start(), stream.end());
+  if (refuting) {
+    if (journal) {
+      journal->record(
+          {.kind = telemetry::DecisionKind::stream_rejected_nonlooped,
+           .dst24 = stream.dst24,
+           .ts = stream.end(),
+           .record_index = rec,
+           .detail = *refuting,
+           .detail2 = static_cast<std::int64_t>(stream.size())});
+      journal->on_validation_reject(stream.dst24);
+    }
     return Verdict::prefix_conflict;
+  }
+  if (journal) {
+    journal->record({.kind = telemetry::DecisionKind::stream_accepted,
+                     .dst24 = stream.dst24,
+                     .ts = stream.end(),
+                     .record_index = rec,
+                     .detail = static_cast<std::int64_t>(stream.size())});
   }
   return Verdict::keep;
 }
@@ -51,7 +88,7 @@ std::vector<ReplicaStream> StreamValidator::validate(
   std::vector<ReplicaStream> valid;
   valid.reserve(streams.size());
   for (auto& stream : streams) {
-    switch (judge(stream, config_.min_replicas, index)) {
+    switch (judge(stream, config_.min_replicas, index, journal_)) {
       case Verdict::too_small:
         ++local.rejected_too_small;
         telemetry::inc(m_rejected_small_);
@@ -99,9 +136,9 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded(
                                num_shards);
     for (std::size_t i = 0; i < streams.size(); ++i) {
       if (shard_of_prefix(streams[i].dst24, num_shards) != s) continue;
-      verdicts[i] = judge(streams[i], config_.min_replicas, index);
+      verdicts[i] = judge(streams[i], config_.min_replicas, index, journal_);
     }
-  });
+  }, "validate_shard");
 
   // Serial assembly in input order reproduces validate()'s output exactly.
   std::vector<ReplicaStream> valid;

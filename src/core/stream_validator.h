@@ -16,6 +16,7 @@
 #include "core/parallel.h"
 #include "core/prefix_index.h"
 #include "core/replica_detector.h"
+#include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
 #include "util/thread_pool.h"
 
@@ -35,9 +36,14 @@ struct ValidationStats {
 
 class StreamValidator {
  public:
-  // `registry` (optional) receives per-reason rejection counters.
+  // `registry` (optional) receives per-reason rejection counters. `journal`
+  // (optional) receives one verdict event per stream (stream_accepted /
+  // stream_rejected_min_replicas / stream_rejected_nonlooped, the latter
+  // with the refuting packet's timestamp as evidence) and fires the
+  // flight-recorder auto-dump on every rejection.
   explicit StreamValidator(ValidatorConfig config = {},
-                           telemetry::Registry* registry = nullptr);
+                           telemetry::Registry* registry = nullptr,
+                           telemetry::DecisionLog* journal = nullptr);
 
   // `streams` is the raw output of ReplicaDetector::detect; `records` the
   // full parsed trace. Returns the surviving streams in input order and
@@ -61,6 +67,7 @@ class StreamValidator {
  private:
   ValidatorConfig config_;
   telemetry::Registry* registry_ = nullptr;
+  telemetry::DecisionLog* journal_ = nullptr;
   telemetry::Counter* m_accepted_ = nullptr;
   telemetry::Counter* m_rejected_small_ = nullptr;
   telemetry::Counter* m_rejected_conflict_ = nullptr;

@@ -8,9 +8,11 @@ namespace rloop::core {
 
 StreamingDetector::StreamingDetector(StreamingConfig config,
                                      AlertCallback on_alert,
-                                     telemetry::Registry* registry)
+                                     telemetry::Registry* registry,
+                                     telemetry::DecisionLog* journal)
     : config_(config),
       on_alert_(std::move(on_alert)),
+      journal_(journal),
       m_packets_(telemetry::get_counter(
           registry, "rloop_streaming_packets_total", {},
           "Packets fed to the streaming detector")),
@@ -103,11 +105,24 @@ void StreamingDetector::on_packet(net::TimeNs ts,
     auto [alert_it, first_alert] = last_alert_.try_emplace(entry.prefix24, ts);
     if (!first_alert && ts - alert_it->second < config_.alert_holddown) {
       telemetry::inc(m_suppressed_);
+      telemetry::record(
+          journal_, {.kind = telemetry::DecisionKind::alert_suppressed,
+                     .dst24 = entry.prefix24,
+                     .ts = ts,
+                     .record_index = static_cast<std::uint32_t>(packets_seen_),
+                     .detail = ts - alert_it->second});
       return;
     }
     alert_it->second = ts;
     ++alerts_raised_;
     telemetry::inc(m_alerts_);
+    telemetry::record(
+        journal_, {.kind = telemetry::DecisionKind::alert_raised,
+                   .dst24 = entry.prefix24,
+                   .ts = ts,
+                   .record_index = static_cast<std::uint32_t>(packets_seen_),
+                   .detail = static_cast<std::int64_t>(entry.replicas),
+                   .detail2 = entry.last_delta});
     if (on_alert_) {
       LoopAlert alert;
       alert.prefix24 = entry.prefix24;

@@ -22,6 +22,7 @@
 #include "core/replica_key.h"
 #include "net/prefix.h"
 #include "net/time.h"
+#include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
 
 namespace rloop::core {
@@ -47,9 +48,12 @@ class StreamingDetector {
   using AlertCallback = std::function<void(const LoopAlert&)>;
 
   // `registry` (optional) receives rloop_streaming_* counters and the live
-  // open-entry gauge — the operator-facing loop-surge signal.
+  // open-entry gauge — the operator-facing loop-surge signal. `journal`
+  // (optional) receives an alert_raised / alert_suppressed event per
+  // threshold crossing.
   StreamingDetector(StreamingConfig config, AlertCallback on_alert,
-                    telemetry::Registry* registry = nullptr);
+                    telemetry::Registry* registry = nullptr,
+                    telemetry::DecisionLog* journal = nullptr);
 
   // Feed one captured packet (bytes start at the IP header). Timestamps must
   // be non-decreasing; throws std::invalid_argument otherwise.
@@ -74,6 +78,7 @@ class StreamingDetector {
 
   StreamingConfig config_;
   AlertCallback on_alert_;
+  telemetry::DecisionLog* journal_ = nullptr;
   telemetry::Counter* m_packets_ = nullptr;
   telemetry::Counter* m_parse_failures_ = nullptr;
   telemetry::Counter* m_alerts_ = nullptr;

@@ -27,6 +27,7 @@ void EventQueue::pop_and_run() {
   now_ = ev.time;
   telemetry::inc(m_dispatched_);
   telemetry::set(m_depth_, static_cast<std::int64_t>(heap_.size()));
+  const telemetry::ScopedSpan span(trace_, "event", "sim");
   ev.fn();
 }
 

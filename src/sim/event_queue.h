@@ -12,6 +12,7 @@
 
 #include "net/time.h"
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace rloop::sim {
 
@@ -24,6 +25,11 @@ class EventQueue {
   // Registers the dispatch counter and queue-depth gauge with `registry`
   // (null detaches). Call before running; metrics resolve once here.
   void attach_telemetry(telemetry::Registry* registry);
+
+  // Attaches a span sink (null detaches): every dispatched event is wrapped
+  // in an "event" span, so a Perfetto view of the simulator shows the event
+  // loop's wall-clock shape.
+  void attach_trace(telemetry::TraceSink* trace) { trace_ = trace; }
 
   // Schedules `fn` at absolute time `t`. Throws std::invalid_argument when
   // t is in the past (t < now()).
@@ -60,6 +66,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   telemetry::Counter* m_dispatched_ = nullptr;
   telemetry::Gauge* m_depth_ = nullptr;
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rloop::sim

@@ -14,6 +14,7 @@ constexpr std::size_t kMaxStoredCrossings = 4'000'000;
 
 Network::Network(routing::Topology topo, std::uint64_t seed, NetworkConfig cfg)
     : topo_(std::move(topo)), cfg_(cfg), rng_(seed) {
+  queue_.attach_trace(cfg_.trace);
   if (telemetry::Registry* reg = cfg_.registry) {
     queue_.attach_telemetry(reg);
     const auto drop_counter = [reg](const char* reason) {

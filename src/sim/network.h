@@ -47,6 +47,9 @@ struct NetworkConfig {
   // Optional metrics sink (rloop_sim_* counters, event-queue depth gauge).
   // Must outlive the Network.
   telemetry::Registry* registry = nullptr;
+  // Optional span sink: every dispatched simulator event gets an "event"
+  // span. Must outlive the Network.
+  telemetry::TraceSink* trace = nullptr;
 };
 
 enum class FateKind : std::uint8_t {

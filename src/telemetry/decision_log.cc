@@ -1,0 +1,251 @@
+#include "telemetry/decision_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace rloop::telemetry {
+
+namespace {
+
+// Local prefix rendering: telemetry sits below rloop_net in the link order
+// (rloop_net links rloop_telemetry), so this file must not call
+// net::Prefix::to_string() from prefix.cc. The struct itself is header-only.
+std::string render_prefix(const net::Prefix& p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u/%u", (p.addr.value >> 24) & 255,
+                (p.addr.value >> 16) & 255, (p.addr.value >> 8) & 255,
+                p.addr.value & 255, p.len);
+  return buf;
+}
+
+std::string render_s(net::TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(t) / 1e9);
+  return buf;
+}
+
+// Kind-specific evidence text (see the detail table in decision_log.h).
+std::string render_evidence(const DecisionEvent& ev) {
+  char buf[160];
+  switch (ev.kind) {
+    case DecisionKind::replica_accepted:
+      std::snprintf(buf, sizeof(buf), "ttl delta %lld, stream now %lld replicas",
+                    static_cast<long long>(ev.detail),
+                    static_cast<long long>(ev.detail2));
+      break;
+    case DecisionKind::replica_rejected:
+      std::snprintf(buf, sizeof(buf),
+                    "ttl delta %lld below minimum, fresh stream opened",
+                    static_cast<long long>(ev.detail));
+      break;
+    case DecisionKind::stream_emitted:
+      std::snprintf(buf, sizeof(buf), "%lld replicas, started t=%s",
+                    static_cast<long long>(ev.detail),
+                    render_s(ev.detail2).c_str());
+      break;
+    case DecisionKind::stream_accepted:
+      std::snprintf(buf, sizeof(buf), "%lld replicas survive both conditions",
+                    static_cast<long long>(ev.detail));
+      break;
+    case DecisionKind::stream_rejected_min_replicas:
+      std::snprintf(buf, sizeof(buf), "%lld replicas < required %lld",
+                    static_cast<long long>(ev.detail),
+                    static_cast<long long>(ev.detail2));
+      break;
+    case DecisionKind::stream_rejected_nonlooped:
+      std::snprintf(buf, sizeof(buf),
+                    "non-looped packet to the /24 at t=%s refutes the loop",
+                    render_s(ev.detail).c_str());
+      break;
+    case DecisionKind::loop_extended:
+      if (ev.detail == 0) {
+        std::snprintf(buf, sizeof(buf), "overlaps open loop, now %lld streams",
+                      static_cast<long long>(ev.detail2));
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "gap %s clean, merged, now %lld streams",
+                      render_s(ev.detail).c_str(),
+                      static_cast<long long>(ev.detail2));
+      }
+      break;
+    case DecisionKind::loop_split_gap:
+      std::snprintf(buf, sizeof(buf), "gap %s >= merge gap %s, new loop",
+                    render_s(ev.detail).c_str(), render_s(ev.detail2).c_str());
+      break;
+    case DecisionKind::loop_split_healthy:
+      std::snprintf(buf, sizeof(buf),
+                    "healthy packet at t=%s inside %s gap, new loop",
+                    render_s(ev.detail2).c_str(), render_s(ev.detail).c_str());
+      break;
+    case DecisionKind::loop_emitted:
+      std::snprintf(buf, sizeof(buf), "%lld streams, %lld replicas",
+                    static_cast<long long>(ev.detail),
+                    static_cast<long long>(ev.detail2));
+      break;
+    case DecisionKind::alert_raised:
+      std::snprintf(buf, sizeof(buf), "%lld replicas, ttl delta %lld",
+                    static_cast<long long>(ev.detail),
+                    static_cast<long long>(ev.detail2));
+      break;
+    case DecisionKind::alert_suppressed:
+      std::snprintf(buf, sizeof(buf), "last alert %s ago",
+                    render_s(ev.detail).c_str());
+      break;
+  }
+  return buf;
+}
+
+// (ts, kind, record) is the causal order: evidence before verdicts at equal
+// timestamps (DecisionKind values are declared in pipeline-stage order).
+void causal_sort(std::vector<DecisionEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const DecisionEvent& a, const DecisionEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.record_index < b.record_index;
+            });
+}
+
+std::string render_chain(const net::Prefix& prefix24,
+                         const std::vector<DecisionEvent>& chain) {
+  std::string out = "decision journal for " + render_prefix(prefix24) + " — " +
+                    std::to_string(chain.size()) + " event(s)\n";
+  std::uint64_t loops = 0;
+  std::uint64_t rejects = 0;
+  for (const DecisionEvent& ev : chain) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  t=%-12s rec=%-8u %-26s %s\n",
+                  render_s(ev.ts).c_str(), ev.record_index,
+                  decision_reason(ev.kind), render_evidence(ev).c_str());
+    out += line;
+    if (ev.kind == DecisionKind::loop_emitted) ++loops;
+    if (ev.kind == DecisionKind::stream_rejected_min_replicas ||
+        ev.kind == DecisionKind::stream_rejected_nonlooped) {
+      ++rejects;
+    }
+  }
+  out += "  verdict: " + std::to_string(loops) + " loop(s) emitted, " +
+         std::to_string(rejects) + " stream(s) rejected\n";
+  return out;
+}
+
+}  // namespace
+
+const char* decision_reason(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::replica_accepted: return "replica_accepted";
+    case DecisionKind::replica_rejected: return "ttl_delta_below_min";
+    case DecisionKind::stream_emitted: return "stream_emitted";
+    case DecisionKind::stream_accepted: return "validated";
+    case DecisionKind::stream_rejected_min_replicas: return "min_replicas";
+    case DecisionKind::stream_rejected_nonlooped:
+      return "nonlooped_packet_in_window";
+    case DecisionKind::loop_extended: return "merged";
+    case DecisionKind::loop_split_gap: return "merge_gap_exceeded";
+    case DecisionKind::loop_split_healthy: return "nonlooped_packet_in_gap";
+    case DecisionKind::loop_emitted: return "loop_emitted";
+    case DecisionKind::alert_raised: return "alert_raised";
+    case DecisionKind::alert_suppressed: return "alert_holddown";
+  }
+  return "unknown";
+}
+
+DecisionLog::DecisionLog(Options options)
+    : options_(std::move(options)),
+      capacity_(options_.capacity > 0 ? options_.capacity : 1) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void DecisionLog::record(const DecisionEvent& ev) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[recorded_ % capacity_] = ev;
+  }
+  ++recorded_;
+}
+
+std::vector<DecisionEvent> DecisionLog::snapshot_locked() const {
+  if (recorded_ <= capacity_) return ring_;
+  // Ring wrapped: oldest retained event sits right after the write cursor.
+  std::vector<DecisionEvent> out;
+  out.reserve(capacity_);
+  const std::size_t head = recorded_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+std::vector<DecisionEvent> DecisionLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked();
+}
+
+std::uint64_t DecisionLog::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t DecisionLog::overwritten() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+std::vector<DecisionEvent> DecisionLog::events_for(
+    const net::Prefix& prefix24) const {
+  std::vector<DecisionEvent> out;
+  for (const DecisionEvent& ev : snapshot()) {
+    if (ev.dst24 == prefix24) out.push_back(ev);
+  }
+  causal_sort(out);
+  return out;
+}
+
+std::vector<DecisionKind> DecisionLog::reasons(
+    const net::Prefix& prefix24) const {
+  std::vector<DecisionKind> out;
+  for (const DecisionEvent& ev : events_for(prefix24)) {
+    out.push_back(ev.kind);
+  }
+  return out;
+}
+
+std::string DecisionLog::explain(const net::Prefix& prefix24) const {
+  return render_chain(prefix24, events_for(prefix24));
+}
+
+std::string DecisionLog::dump() const {
+  const auto events = snapshot();
+  std::set<net::Prefix> prefixes;
+  for (const DecisionEvent& ev : events) prefixes.insert(ev.dst24);
+
+  std::string out = "flight recorder: " + std::to_string(events.size()) +
+                    " event(s) retained, " + std::to_string(overwritten()) +
+                    " overwritten, " + std::to_string(prefixes.size()) +
+                    " prefix(es)\n";
+  for (const net::Prefix& prefix : prefixes) {
+    std::vector<DecisionEvent> chain;
+    for (const DecisionEvent& ev : events) {
+      if (ev.dst24 == prefix) chain.push_back(ev);
+    }
+    causal_sort(chain);
+    out += render_chain(prefix, chain);
+  }
+  return out;
+}
+
+void DecisionLog::on_validation_reject(const net::Prefix& prefix24) {
+  if (!options_.dump_on_reject) return;
+  const std::string chain = explain(prefix24);
+  if (options_.dump_sink) {
+    options_.dump_sink(chain);
+  } else {
+    std::fputs(chain.c_str(), stderr);
+  }
+}
+
+}  // namespace rloop::telemetry

@@ -1,0 +1,149 @@
+// Per-packet / per-stream decision journal: the "why" behind every verdict
+// the detection pipeline reaches.
+//
+// Counters (registry.h) say HOW MANY streams were rejected; spans (trace.h)
+// say WHEN each stage ran; the decision journal says WHY packet 1234's
+// stream to 198.96.38.0/24 was rejected — with a typed reason
+// ("min_replicas", "nonlooped_packet_in_window", "merge_gap_exceeded", ...)
+// and the evidence (the refuting packet's timestamp, the gap that was too
+// wide). The paper's hardest claims are these negative ones, and they are
+// undebuggable from aggregates alone.
+//
+// The journal is a bounded ring buffer — a flight recorder: when full, the
+// oldest events are overwritten so the most recent decisions are always
+// available for a post-mortem dump. Recording is thread-safe (the sharded
+// pipeline journals from worker threads); `explain()` sorts events into the
+// causal (time, kind, record) order, so its output is identical for the
+// serial and parallel pipelines.
+//
+// Null discipline: every layer takes a `DecisionLog*` defaulting to nullptr
+// and checks it once per decision — a run without a journal pays one
+// predictable branch per decision (decisions are per-stream / per-replica
+// match, far rarer than packets).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/time.h"
+
+namespace rloop::telemetry {
+
+// What happened. Values are ordered by pipeline stage (detect -> validate ->
+// merge -> alert); the causal sort in explain() uses that order to break
+// timestamp ties, so keep new kinds in stage order.
+enum class DecisionKind : std::uint8_t {
+  // -- step 1: replica detection -------------------------------------------
+  replica_accepted = 0,  // observation matched into an open replica stream
+  replica_rejected,      // open stream(s) for the key, none compatible
+                         //   (reason ttl_delta_below_min) -> fresh stream
+  stream_emitted,        // closed >= 2-replica stream handed to validation
+  // -- step 2: validation ---------------------------------------------------
+  stream_accepted,               // passed both validation conditions
+  stream_rejected_min_replicas,  // fewer than min_replicas elements
+  stream_rejected_nonlooped,     // non-looped packet to the /24 inside the
+                                 //   stream's lifetime
+  // -- step 3: merging ------------------------------------------------------
+  loop_extended,       // stream folded into an already-open loop
+  loop_split_gap,      // gap to previous loop >= merge_gap -> new loop
+  loop_split_healthy,  // non-looped packet inside the gap -> new loop
+  loop_emitted,        // routing loop finalized
+  // -- streaming detector ---------------------------------------------------
+  alert_raised,
+  alert_suppressed,  // per-prefix hold-down swallowed the alert
+};
+
+// Stable typed-reason string for a kind ("min_replicas",
+// "nonlooped_packet_in_window", "merge_gap_exceeded", ...). Used by
+// explain()/dump() and pinned by tests.
+const char* decision_reason(DecisionKind kind);
+
+// One decision. `detail`/`detail2` are kind-specific evidence:
+//   replica_accepted:             ttl delta, stream size after the append
+//   replica_rejected:             ttl delta against the most recent stream
+//   stream_emitted:               replica count, stream start (ns)
+//   stream_accepted:              replica count
+//   stream_rejected_min_replicas: replica count, required minimum
+//   stream_rejected_nonlooped:    refuting packet timestamp (ns), replicas
+//   loop_extended:                gap to the open loop (ns; 0 = overlap),
+//                                 loop stream count after the merge
+//   loop_split_gap:               gap (ns), configured merge_gap (ns)
+//   loop_split_healthy:           gap (ns), refuting packet timestamp (ns)
+//   loop_emitted:                 stream count, replica count
+//   alert_raised:                 replicas, ttl delta
+//   alert_suppressed:             ns since the previous alert
+// `ts` orders the causal chain: packet time for replica events, stream END
+// time for stream/loop events (so a verdict sorts after the evidence).
+struct DecisionEvent {
+  DecisionKind kind = DecisionKind::replica_accepted;
+  net::Prefix dst24;  // the /24 the decision concerns (explain() filter key)
+  net::TimeNs ts = 0;
+  std::uint32_t record_index = 0;  // triggering trace record (stream events:
+                                   // the stream's first record)
+  std::int64_t detail = 0;
+  std::int64_t detail2 = 0;
+};
+
+class DecisionLog {
+ public:
+  struct Options {
+    // Ring slots. Decisions are per-replica-match / per-stream, so 16k slots
+    // cover minutes of heavy looping.
+    std::size_t capacity = 1u << 14;
+    // Flight-recorder auto-dump: when a stream is rejected at validation,
+    // the causal chain for its /24 is rendered and handed to `dump_sink`
+    // (default: stderr) without anyone having to ask.
+    bool dump_on_reject = false;
+    std::function<void(const std::string&)> dump_sink;
+  };
+
+  DecisionLog() : DecisionLog(Options{}) {}
+  explicit DecisionLog(Options options);
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  // Thread-safe; overwrites the oldest event when the ring is full.
+  void record(const DecisionEvent& ev);
+
+  // Every retained event, oldest to newest (ring order, not causal order).
+  std::vector<DecisionEvent> snapshot() const;
+
+  std::uint64_t recorded() const;     // total ever recorded
+  std::uint64_t overwritten() const;  // recorded() - retained
+  std::size_t capacity() const { return capacity_; }
+
+  // Retained events for `prefix24` in causal (ts, kind, record) order —
+  // deterministic for serial and sharded runs alike.
+  std::vector<DecisionEvent> events_for(const net::Prefix& prefix24) const;
+  // Just the kinds of events_for(): the reason sequence tests pin.
+  std::vector<DecisionKind> reasons(const net::Prefix& prefix24) const;
+
+  // Human-readable causal chain for one /24: one line per decision with its
+  // typed reason and evidence, ending in a verdict summary.
+  std::string explain(const net::Prefix& prefix24) const;
+  // Full flight-recorder dump: every retained prefix's chain.
+  std::string dump() const;
+
+  // Hook for the validator: fires the auto-dump when enabled, else no-op.
+  void on_validation_reject(const net::Prefix& prefix24);
+
+ private:
+  const Options options_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<DecisionEvent> ring_;
+  std::uint64_t recorded_ = 0;
+
+  std::vector<DecisionEvent> snapshot_locked() const;
+};
+
+// Null-tolerant record helper, mirroring telemetry::inc for metrics.
+inline void record(DecisionLog* log, const DecisionEvent& ev) {
+  if (log) log->record(ev);
+}
+
+}  // namespace rloop::telemetry

@@ -30,6 +30,37 @@ const char* type_name(MetricType t) {
   return "untyped";
 }
 
+// Label-value escaping per the Prometheus exposition format: backslash,
+// double-quote and newline must be escaped or the line (and every line
+// after it) is unparseable.
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escaping: only backslash and newline (quotes are legal there).
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string render_labels(const LabelSet& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -37,7 +68,7 @@ std::string render_labels(const LabelSet& labels) {
     if (i) out += ',';
     out += labels[i].first;
     out += "=\"";
-    out += labels[i].second;
+    out += prom_escape_label(labels[i].second);
     out += '"';
   }
   out += '}';
@@ -51,7 +82,7 @@ std::string render_labels_with(const LabelSet& labels, const std::string& key,
   for (const auto& [k, v] : labels) {
     out += k;
     out += "=\"";
-    out += v;
+    out += prom_escape_label(v);
     out += "\",";
   }
   out += key;
@@ -85,7 +116,7 @@ std::string to_prometheus(const std::vector<MetricSnapshot>& snaps) {
     // Snapshots arrive sorted by name; emit HELP/TYPE once per family.
     if (!last_name || *last_name != snap.name) {
       if (!snap.help.empty()) {
-        out += "# HELP " + snap.name + " " + snap.help + "\n";
+        out += "# HELP " + snap.name + " " + prom_escape_help(snap.help) + "\n";
       }
       out += "# TYPE " + snap.name + " " + type_name(snap.type) + "\n";
       last_name = &snap.name;

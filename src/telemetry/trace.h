@@ -1,0 +1,99 @@
+// Scoped-span tracing: wall-clock provenance for the detection pipeline and
+// the simulator event loop.
+//
+// Metrics (registry.h) answer "how many / how long on average"; spans answer
+// "what ran when, on which thread, inside what". A ScopedSpan records one
+// completed interval — name, category, sequential thread id, nesting depth,
+// monotonic start, duration — into a TraceSink. The sink's snapshot exports
+// as Chrome trace-event JSON ("ph":"X" complete events), loadable directly
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Null-sink discipline (same contract as the null Registry): every layer
+// takes a `TraceSink*` that defaults to nullptr, and a ScopedSpan built on a
+// null sink reads no clock, touches no thread-locals, and records nothing —
+// one predictable branch per span site. Spans are deliberately coarse
+// (pipeline stages, per-shard tasks, simulator events), never per-packet.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rloop::telemetry {
+
+// One completed span. `name` and `category` must be string literals (or
+// otherwise outlive the sink): spans are recorded on hot-ish paths and must
+// not allocate.
+struct SpanEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t tid = 0;       // sequential thread id (trace_thread_id())
+  std::uint32_t depth = 0;     // nesting depth at open; 0 = top level
+  std::int64_t start_ns = 0;   // steady-clock nanoseconds
+  std::int64_t duration_ns = 0;
+};
+
+// Bounded, thread-safe collector of completed spans. When full, new spans
+// are dropped (and counted) rather than evicting old ones: a trace whose
+// beginning is intact stays interpretable in Perfetto, and the drop counter
+// makes truncation explicit instead of silent.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 1u << 18);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void record(const SpanEvent& ev);
+
+  // Copy of every recorded span, sorted by (start, tid) so output (and any
+  // test pinned to it) is deterministic regardless of destructor interleave.
+  std::vector<SpanEvent> snapshot() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // to_chrome_trace_json(snapshot()).
+  std::string chrome_trace_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// Sequential id (0, 1, 2, ...) of the calling thread, assigned on first use.
+// Chrome trace viewers lay out one lane per tid; small stable ids beat
+// opaque std::thread::id hashes.
+std::uint32_t trace_thread_id();
+
+// RAII span: opens at construction, records into `sink` at destruction.
+// With a null sink it is a no-op (no clock reads, no depth bookkeeping).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(TraceSink* sink, const char* name,
+                      const char* category = "pipeline");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  const char* category_;
+  std::uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Chrome trace-event JSON (the {"traceEvents":[...]} object form). Each span
+// becomes a complete event: {"name","cat","ph":"X","pid":1,"tid","ts","dur"}
+// with ts/dur in microseconds, plus the nesting depth under "args".
+std::string to_chrome_trace_json(const std::vector<SpanEvent>& events);
+
+}  // namespace rloop::telemetry

@@ -5,13 +5,15 @@
 
 namespace rloop::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads, telemetry::Registry* registry)
+ThreadPool::ThreadPool(std::size_t num_threads, telemetry::Registry* registry,
+                       telemetry::TraceSink* trace)
     : m_queue_depth_(telemetry::get_gauge(
           registry, "rloop_threadpool_queue_depth", {},
           "Tasks waiting in the thread-pool queue")),
       m_tasks_(telemetry::get_counter(
           registry, "rloop_threadpool_tasks_total", {},
-          "Tasks submitted to the thread pool")) {
+          "Tasks submitted to the thread pool")),
+      trace_(trace) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -54,9 +56,11 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const char* span_name) {
   if (n == 0) return;
   if (n == 1) {  // no fan-out, no synchronization
+    const telemetry::ScopedSpan span(trace_, span_name, "task");
     body(0);
     return;
   }
@@ -69,9 +73,10 @@ void ThreadPool::parallel_for(std::size_t n,
   } join{.mu = {}, .cv = {}, .remaining = n, .error = nullptr};
 
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&join, &body, i] {
+    submit([this, &join, &body, i, span_name] {
       std::exception_ptr error;
       try {
+        const telemetry::ScopedSpan span(trace_, span_name, "task");
         body(i);
       } catch (...) {
         error = std::current_exception();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace rloop::util {
 
@@ -27,9 +28,13 @@ class ThreadPool {
  public:
   // Spawns max(1, num_threads) workers. `registry` (optional) receives a
   // queue-depth gauge (rloop_threadpool_queue_depth) and a submitted-task
-  // counter (rloop_threadpool_tasks_total).
+  // counter (rloop_threadpool_tasks_total). `trace` (optional) receives one
+  // span per parallel_for task, named by the call site, recorded on the
+  // worker thread that ran it — so a Perfetto view shows each shard in its
+  // worker's lane.
   explicit ThreadPool(std::size_t num_threads,
-                      telemetry::Registry* registry = nullptr);
+                      telemetry::Registry* registry = nullptr,
+                      telemetry::TraceSink* trace = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -45,7 +50,10 @@ class ThreadPool {
   // Runs body(0) .. body(n-1) across the pool and blocks until all have
   // finished. The first exception thrown by any body is rethrown here after
   // the remaining tasks drain (they still run; shard work is independent).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  // `span_name` labels each task's span when a trace sink is attached; it
+  // must be a string literal (spans keep the pointer, not a copy).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    const char* span_name = "task");
 
  private:
   void worker_loop();
@@ -58,6 +66,7 @@ class ThreadPool {
 
   telemetry::Gauge* m_queue_depth_ = nullptr;
   telemetry::Counter* m_tasks_ = nullptr;
+  telemetry::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace rloop::util

@@ -1,0 +1,282 @@
+#include "telemetry/decision_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/loop_detector.h"
+#include "core/streaming_detector.h"
+#include "trace_builder.h"
+
+namespace rloop::telemetry {
+namespace {
+
+using net::Ipv4Addr;
+using rloop::testing::TraceBuilder;
+
+const net::Prefix kPrefix = net::Prefix::slash24(Ipv4Addr(10, 1, 2, 0));
+
+// The journaled reason sequence for one /24, as strings for readable diffs.
+std::vector<std::string> reason_names(const DecisionLog& journal,
+                                      const net::Prefix& prefix) {
+  std::vector<std::string> out;
+  for (const DecisionKind kind : journal.reasons(prefix)) {
+    out.emplace_back(decision_reason(kind));
+  }
+  return out;
+}
+
+core::LoopDetectorConfig config_with(DecisionLog* journal, bool parallel) {
+  core::LoopDetectorConfig config;
+  config.journal = journal;
+  if (parallel) {
+    config.parallel.num_threads = 4;
+    config.parallel.shard_bits = 2;
+  }
+  return config;
+}
+
+// --- end-to-end reason sequences, serial and parallel ----------------------
+// Each paper rejection reason fires exactly once on a purpose-built trace,
+// and the causal chain around it is pinned.
+
+class DecisionReasonTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, DecisionReasonTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "parallel" : "serial";
+                         });
+
+TEST_P(DecisionReasonTest, MinReplicasFiresExactlyOnce) {
+  TraceBuilder builder;
+  // A two-element stream: emitted by the detector, rejected by validation
+  // condition 1.
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), /*ttl0=*/60,
+                         /*ip_id=*/7, /*count=*/2, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  DecisionLog journal;
+  const auto result = core::detect_loops(
+      builder.trace(), config_with(&journal, GetParam()));
+  EXPECT_TRUE(result.loops.empty());
+  EXPECT_EQ(result.validation.rejected_too_small, 1u);
+
+  const std::vector<std::string> expected = {
+      "replica_accepted", "stream_emitted", "min_replicas"};
+  EXPECT_EQ(reason_names(journal, kPrefix), expected);
+}
+
+TEST_P(DecisionReasonTest, NonloopedPacketInWindowFiresExactlyOnce) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), /*ttl0=*/60,
+                         /*ip_id=*/7, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  // A healthy (never-replicated) packet to the same /24 inside the stream's
+  // lifetime refutes the loop hypothesis.
+  builder.packet(net::kSecond + 15 * net::kMillisecond, Ipv4Addr(10, 1, 2, 99),
+                 /*ttl=*/64, /*ip_id=*/99);
+  DecisionLog journal;
+  const auto result = core::detect_loops(
+      builder.trace(), config_with(&journal, GetParam()));
+  EXPECT_TRUE(result.loops.empty());
+  EXPECT_EQ(result.validation.rejected_prefix_conflict, 1u);
+
+  const std::vector<std::string> expected = {
+      "replica_accepted", "replica_accepted", "replica_accepted",
+      "stream_emitted", "nonlooped_packet_in_window"};
+  EXPECT_EQ(reason_names(journal, kPrefix), expected);
+
+  // The evidence is the refuting packet's timestamp.
+  bool found = false;
+  for (const auto& ev : journal.events_for(kPrefix)) {
+    if (ev.kind == DecisionKind::stream_rejected_nonlooped) {
+      found = true;
+      EXPECT_EQ(ev.ts, net::kSecond + 30 * net::kMillisecond);  // stream end
+      EXPECT_EQ(ev.detail, net::kSecond + 15 * net::kMillisecond);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(DecisionReasonTest, MergeGapExceededFiresExactlyOnce) {
+  TraceBuilder builder;
+  // Two validated streams to one /24, separated by far more than the 60 s
+  // merge gap: two loops, one split decision.
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), /*ttl0=*/60,
+                         /*ip_id=*/7, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  builder.replica_stream(120 * net::kSecond, Ipv4Addr(10, 1, 2, 3),
+                         /*ttl0=*/60, /*ip_id=*/8, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  DecisionLog journal;
+  const auto result = core::detect_loops(
+      builder.trace(), config_with(&journal, GetParam()));
+  EXPECT_EQ(result.loops.size(), 2u);
+
+  const std::vector<std::string> expected = {
+      // stream 1
+      "replica_accepted", "replica_accepted", "replica_accepted",
+      "stream_emitted", "validated", "loop_emitted",
+      // stream 2
+      "replica_accepted", "replica_accepted", "replica_accepted",
+      "stream_emitted", "validated", "merge_gap_exceeded", "loop_emitted"};
+  EXPECT_EQ(reason_names(journal, kPrefix), expected);
+}
+
+TEST_P(DecisionReasonTest, HealthyPacketInGapSplitsTheLoop) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), /*ttl0=*/60,
+                         /*ip_id=*/7, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  builder.replica_stream(20 * net::kSecond, Ipv4Addr(10, 1, 2, 3),
+                         /*ttl0=*/60, /*ip_id=*/8, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  // Gap is ~19 s < 60 s, but forwarding was demonstrably healthy in between.
+  builder.packet(10 * net::kSecond, Ipv4Addr(10, 1, 2, 99), /*ttl=*/64,
+                 /*ip_id=*/99);
+  DecisionLog journal;
+  const auto result = core::detect_loops(
+      builder.trace(), config_with(&journal, GetParam()));
+  EXPECT_EQ(result.loops.size(), 2u);
+
+  std::size_t splits = 0;
+  for (const auto& ev : journal.events_for(kPrefix)) {
+    if (ev.kind == DecisionKind::loop_split_healthy) {
+      ++splits;
+      EXPECT_EQ(ev.detail2, 10 * net::kSecond);  // the refuting packet
+    }
+  }
+  EXPECT_EQ(splits, 1u);
+}
+
+TEST_P(DecisionReasonTest, MergedStreamsJournalLoopExtended) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), /*ttl0=*/60,
+                         /*ip_id=*/7, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  builder.replica_stream(5 * net::kSecond, Ipv4Addr(10, 1, 2, 3),
+                         /*ttl0=*/60, /*ip_id=*/8, /*count=*/4, /*delta=*/2,
+                         /*spacing=*/10 * net::kMillisecond);
+  DecisionLog journal;
+  const auto result = core::detect_loops(
+      builder.trace(), config_with(&journal, GetParam()));
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_EQ(result.loops[0].stream_count(), 2u);
+
+  const auto reasons = reason_names(journal, kPrefix);
+  EXPECT_EQ(std::count(reasons.begin(), reasons.end(), "merged"), 1);
+  EXPECT_EQ(std::count(reasons.begin(), reasons.end(), "loop_emitted"), 1);
+}
+
+// --- serial/parallel journal determinism -----------------------------------
+
+TEST(DecisionLogDeterminism, ExplainIsIdenticalSerialAndParallel) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), 60, 7, 4, 2,
+                         10 * net::kMillisecond);
+  builder.replica_stream(120 * net::kSecond, Ipv4Addr(10, 1, 2, 3), 60, 8, 4,
+                         2, 10 * net::kMillisecond);
+  builder.replica_stream(2 * net::kSecond, Ipv4Addr(192, 0, 2, 1), 60, 9, 2,
+                         2, 10 * net::kMillisecond);
+
+  DecisionLog serial_journal;
+  DecisionLog parallel_journal;
+  (void)core::detect_loops(builder.trace(), config_with(&serial_journal, false));
+  (void)core::detect_loops(builder.trace(),
+                           config_with(&parallel_journal, true));
+
+  for (const auto& prefix :
+       {kPrefix, net::Prefix::slash24(Ipv4Addr(192, 0, 2, 0))}) {
+    EXPECT_EQ(serial_journal.explain(prefix), parallel_journal.explain(prefix));
+  }
+  EXPECT_EQ(serial_journal.dump(), parallel_journal.dump());
+}
+
+// --- explain() rendering ----------------------------------------------------
+
+TEST(DecisionLogExplain, RendersCausalChainWithVerdict) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), 60, 7, 4, 2,
+                         10 * net::kMillisecond);
+  DecisionLog journal;
+  (void)core::detect_loops(builder.trace(), config_with(&journal, false));
+
+  const std::string chain = journal.explain(kPrefix);
+  EXPECT_NE(chain.find("decision journal for 10.1.2.0/24"), std::string::npos)
+      << chain;
+  EXPECT_NE(chain.find("replica_accepted"), std::string::npos);
+  EXPECT_NE(chain.find("validated"), std::string::npos);
+  EXPECT_NE(chain.find("loop_emitted"), std::string::npos);
+  EXPECT_NE(chain.find("verdict: 1 loop(s) emitted, 0 stream(s) rejected"),
+            std::string::npos)
+      << chain;
+  // A prefix with no events renders an empty-but-valid chain.
+  const std::string empty =
+      journal.explain(net::Prefix::slash24(Ipv4Addr(203, 0, 113, 0)));
+  EXPECT_NE(empty.find("0 event(s)"), std::string::npos) << empty;
+}
+
+// --- flight-recorder behavior -----------------------------------------------
+
+TEST(DecisionLogFlightRecorder, AutoDumpFiresOnValidationReject) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), 60, 7, 2, 2,
+                         10 * net::kMillisecond);
+  std::vector<std::string> dumps;
+  DecisionLog::Options options;
+  options.dump_on_reject = true;
+  options.dump_sink = [&](const std::string& chain) { dumps.push_back(chain); };
+  DecisionLog journal(std::move(options));
+
+  core::LoopDetectorConfig config;
+  config.journal = &journal;
+  (void)core::detect_loops(builder.trace(), config);
+
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("min_replicas"), std::string::npos) << dumps[0];
+  EXPECT_NE(dumps[0].find("10.1.2.0/24"), std::string::npos);
+}
+
+TEST(DecisionLogFlightRecorder, RingOverwritesOldestAndCounts) {
+  DecisionLog::Options options;
+  options.capacity = 4;
+  DecisionLog journal(std::move(options));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    journal.record({.kind = DecisionKind::replica_accepted,
+                    .dst24 = kPrefix,
+                    .ts = static_cast<net::TimeNs>(i),
+                    .record_index = i});
+  }
+  EXPECT_EQ(journal.recorded(), 10u);
+  EXPECT_EQ(journal.overwritten(), 6u);
+  EXPECT_EQ(journal.capacity(), 4u);
+  const auto events = journal.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained is event 6; snapshot is oldest -> newest.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].record_index, 6u + i);
+  }
+}
+
+// --- streaming detector ------------------------------------------------------
+
+TEST(StreamingJournal, AlertRaisedThenHolddownSuppressed) {
+  TraceBuilder builder;
+  builder.replica_stream(net::kSecond, Ipv4Addr(10, 1, 2, 3), 60, 7,
+                         /*count=*/5, /*delta=*/2, 10 * net::kMillisecond);
+  DecisionLog journal;
+  core::StreamingDetector detector({}, nullptr, nullptr, &journal);
+  for (const auto& rec : builder.trace().records()) {
+    detector.on_packet(rec.ts, rec.bytes());
+  }
+  EXPECT_EQ(detector.alerts_raised(), 1u);
+
+  const auto reasons = reason_names(journal, kPrefix);
+  EXPECT_EQ(std::count(reasons.begin(), reasons.end(), "alert_raised"), 1);
+  EXPECT_EQ(std::count(reasons.begin(), reasons.end(), "alert_holddown"), 2);
+}
+
+}  // namespace
+}  // namespace rloop::telemetry

@@ -148,6 +148,26 @@ TEST(Exporter, PrometheusGolden) {
   EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
 }
 
+// Regression: backslash, double-quote and newline in label values (and
+// backslash/newline in HELP text) must be escaped per the exposition format,
+// or the emitted line — and every line after it — is unparseable.
+TEST(Exporter, PrometheusEscapesLabelValuesAndHelp) {
+  Registry reg;
+  reg.counter("rloop_esc_total", {{"path", "C:\\dir\n\"quoted\""}},
+              "line one\nline \\two")
+      ->inc();
+  const std::string expected =
+      "# HELP rloop_esc_total line one\\nline \\\\two\n"
+      "# TYPE rloop_esc_total counter\n"
+      "rloop_esc_total{path=\"C:\\\\dir\\n\\\"quoted\\\"\"} 1\n";
+  EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
+  // Histogram label rendering goes through a second code path (`le` append).
+  Registry reg2;
+  reg2.histogram("rloop_esc_ns", {10.0}, {{"q", "a\"b"}})->observe(5);
+  const std::string prom = to_prometheus(reg2.snapshot());
+  EXPECT_NE(prom.find("q=\"a\\\"b\""), std::string::npos) << prom;
+}
+
 TEST(Exporter, JsonGolden) {
   Registry reg;
   reg.counter("rloop_a_total")->inc(3);
