@@ -1,0 +1,217 @@
+// Machine-readable pipeline benchmark for the CI regression gate.
+//
+// Runs the full detection pipeline (serial and 4-thread sharded) over the
+// cached backbone trace, takes the best of N repetitions, and writes one
+// JSON object with ns/packet, heap allocation counts, and peak RSS:
+//
+//   bench_to_json --out BENCH_pipeline.json
+//
+// With --baseline it additionally compares the measured ns/packet against a
+// previously committed file and exits 1 when either the serial or the
+// parallel figure regressed by more than --tolerance (default 0.15 = 15%).
+// Allocation counts are deterministic and compared exactly (same tolerance
+// applied, so incidental allocator/library churn does not flap the gate);
+// RSS is informational only.
+//
+//   bench_to_json --baseline bench/BENCH_pipeline.baseline.json
+//
+// The baseline lives in the repo (bench/BENCH_pipeline.baseline.json).
+// Refresh it — on quiet hardware, best of several runs — whenever an
+// intentional performance change shifts the numbers:
+//
+//   build/bench/bench_to_json --out bench/BENCH_pipeline.baseline.json
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "common.h"
+#include "core/loop_detector.h"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  double ns_per_packet = 0;
+  double allocs_per_packet = 0;
+};
+
+// Best-of-N wall time and the allocation count of one run. Minimum, not
+// mean: scheduling noise only ever adds time.
+Measurement measure(const rloop::net::Trace& trace,
+                    const rloop::core::LoopDetectorConfig& config,
+                    int repetitions) {
+  const auto n = static_cast<double>(trace.size());
+  Measurement best;
+  best.ns_per_packet = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    auto result = rloop::core::detect_loops(trace, config);
+    const auto t1 = Clock::now();
+    const auto allocs = g_alloc_count.load(std::memory_order_relaxed) -
+                        allocs_before;
+    if (result.total_records != trace.size()) {
+      std::cerr << "bench_to_json: pipeline dropped records\n";
+      std::exit(2);
+    }
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        n;
+    if (ns < best.ns_per_packet) best.ns_per_packet = ns;
+    best.allocs_per_packet = static_cast<double>(allocs) / n;
+  }
+  return best;
+}
+
+long peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+// Minimal extractor for the flat one-object JSON this tool itself writes:
+// finds `"key": <number>`. Returns NaN when the key is absent.
+double json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+bool check_regression(const std::string& name, double baseline, double now,
+                      double tolerance) {
+  if (std::isnan(baseline)) {
+    std::cerr << "bench_to_json: baseline missing field " << name << "\n";
+    return false;
+  }
+  const double limit = baseline * (1.0 + tolerance);
+  const bool ok = now <= limit;
+  std::cout << (ok ? "OK  " : "FAIL") << "  " << name << ": " << now
+            << " (baseline " << baseline << ", limit " << limit << ")\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pipeline.json";
+  std::string baseline_path;
+  double tolerance = 0.15;
+  int repetitions = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_to_json: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--repetitions") {
+      repetitions = std::atoi(next().c_str());
+    } else {
+      std::cerr << "usage: bench_to_json [--out FILE] [--baseline FILE]"
+                << " [--tolerance F] [--repetitions N]\n";
+      return 2;
+    }
+  }
+
+  const auto& trace = rloop::bench::cached_trace(3);
+
+  rloop::core::LoopDetectorConfig serial_config;
+  const auto serial = measure(trace, serial_config, repetitions);
+
+  rloop::core::LoopDetectorConfig parallel_config;
+  parallel_config.parallel.num_threads = 4;
+  parallel_config.parallel.shard_bits = 4;
+  const auto parallel = measure(trace, parallel_config, repetitions);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"trace_records\": " << trace.size() << ",\n"
+       << "  \"repetitions\": " << repetitions << ",\n"
+       << "  \"serial_ns_per_packet\": " << serial.ns_per_packet << ",\n"
+       << "  \"serial_allocs_per_packet\": " << serial.allocs_per_packet
+       << ",\n"
+       << "  \"parallel4_ns_per_packet\": " << parallel.ns_per_packet << ",\n"
+       << "  \"parallel4_allocs_per_packet\": " << parallel.allocs_per_packet
+       << ",\n"
+       << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n"
+       << "}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  if (out.fail()) {
+    std::cerr << "bench_to_json: cannot write " << out_path << "\n";
+    return 2;
+  }
+  std::cout << json.str();
+
+  if (baseline_path.empty()) return 0;
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "bench_to_json: cannot read baseline " << baseline_path
+              << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string baseline = buf.str();
+
+  bool ok = true;
+  ok &= check_regression("serial_ns_per_packet",
+                         json_number(baseline, "serial_ns_per_packet"),
+                         serial.ns_per_packet, tolerance);
+  ok &= check_regression("parallel4_ns_per_packet",
+                         json_number(baseline, "parallel4_ns_per_packet"),
+                         parallel.ns_per_packet, tolerance);
+  ok &= check_regression("serial_allocs_per_packet",
+                         json_number(baseline, "serial_allocs_per_packet"),
+                         serial.allocs_per_packet, tolerance);
+  return ok ? 0 : 1;
+}

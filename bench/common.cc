@@ -6,6 +6,7 @@
 #include <map>
 
 #include "net/pcap.h"
+#include "net/pcap_mmap.h"
 
 namespace rloop::bench {
 
@@ -44,7 +45,7 @@ const net::Trace& cached_trace(int k) {
   if (std::filesystem::exists(path)) {
     std::fprintf(stderr, "# %s: loading cached trace %s\n", spec.name.c_str(),
                  path.c_str());
-    auto trace = net::read_pcap(path);
+    auto trace = net::read_pcap_fast(path);
     trace.set_link_name(spec.name);
     return traces.emplace(k, std::move(trace)).first->second;
   }

@@ -18,7 +18,7 @@
 #include <string>
 
 #include "core/streaming_detector.h"
-#include "net/pcap.h"
+#include "net/pcap_mmap.h"
 #include "net/time.h"
 #include "scenarios/backbone.h"
 #include "telemetry/exporter.h"
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   if (pcap_path) {
     std::printf("reading %s ...\n", pcap_path);
     try {
-      trace = net::read_pcap(pcap_path, reg);
+      trace = net::read_pcap_fast(pcap_path, reg);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

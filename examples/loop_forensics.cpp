@@ -28,7 +28,7 @@
 #include "core/loop_detector.h"
 #include "correlate/correlate.h"
 #include "net/anonymize.h"
-#include "net/pcap.h"
+#include "net/pcap_mmap.h"
 #include "scenarios/backbone.h"
 #include "telemetry/decision_log.h"
 
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     run = scenarios::run_backbone(2);
   } else {
     std::printf("reading %s ...\n", pcap_path.c_str());
-    loaded = net::read_pcap(pcap_path);
+    loaded = net::read_pcap_fast(pcap_path);
   }
   const net::Trace& trace = run ? run->trace() : loaded;
 

@@ -33,6 +33,7 @@
 #include "core/report.h"
 #include "net/anonymize.h"
 #include "net/pcap.h"
+#include "net/pcap_mmap.h"
 #include "scenarios/backbone.h"
 
 using namespace rloop;
@@ -133,7 +134,7 @@ int main(int argc, char** argv) {
 
   net::Trace trace;
   try {
-    trace = net::read_pcap(opts.input);
+    trace = net::read_pcap_fast(opts.input);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

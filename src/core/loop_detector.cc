@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/record_store.h"
 #include "util/thread_pool.h"
 
 namespace rloop::core {
@@ -56,34 +57,43 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
                      "Trace records whose IP header failed to parse"),
                  result.parse_failures);
 
+  // Columnize: transpose the parsed records into the SoA RecordStore the
+  // detect/validate/merge scans run on, and compute the replica-key hash
+  // column (once per record, reused by every later stage).
+  RecordStore store;
+  {
+    const telemetry::ScopedTimer timer(stage_histogram(reg, "columnize"));
+    const telemetry::ScopedSpan span(config.trace, "columnize");
+    store = parallel
+                ? RecordStore::build_parallel(trace, result.records, *pool)
+                : RecordStore::build(trace, result.records);
+  }
+
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "detect"));
     const telemetry::ScopedSpan span(config.trace, "detect");
     const ReplicaDetector detector(config.detector, reg, config.journal);
-    result.raw_streams =
-        parallel
-            ? detector.detect_sharded(trace, result.records, *pool, num_shards)
-            : detector.detect(trace, result.records);
+    result.raw_streams = parallel
+                             ? detector.detect_sharded(store, *pool, num_shards)
+                             : detector.detect(store);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "validate"));
     const telemetry::ScopedSpan span(config.trace, "validate");
     const StreamValidator validator(config.validator, reg, config.journal);
     result.valid_streams =
-        parallel ? validator.validate_sharded(result.records,
-                                              result.raw_streams, *pool,
+        parallel ? validator.validate_sharded(store, result.raw_streams, *pool,
                                               num_shards, &result.validation)
-                 : validator.validate(result.records, result.raw_streams,
+                 : validator.validate(store, result.raw_streams,
                                       &result.validation);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "merge"));
     const telemetry::ScopedSpan span(config.trace, "merge");
     const StreamMerger merger(config.merger, reg, config.journal);
-    result.loops =
-        parallel ? merger.merge_sharded(result.records, result.valid_streams,
-                                        *pool, num_shards)
-                 : merger.merge(result.records, result.valid_streams);
+    result.loops = parallel ? merger.merge_sharded(store, result.valid_streams,
+                                                   *pool, num_shards)
+                            : merger.merge(store, result.valid_streams);
   }
   return result;
 }

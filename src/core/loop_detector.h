@@ -35,8 +35,8 @@ struct LoopDetectorConfig {
   // null the pipeline runs with zero telemetry overhead.
   telemetry::Registry* registry = nullptr;
   // Optional span sink: a root "detect_loops" span, one span per stage
-  // (parse/detect/validate/merge), and one span per parallel_for task
-  // (parse_chunk/hash_chunk/detect_shard/validate_shard/merge_shard),
+  // (parse/columnize/detect/validate/merge), and one span per parallel_for
+  // task (parse_chunk/hash_chunk/detect_shard/validate_shard/merge_shard),
   // exportable as Chrome trace-event JSON (TraceSink::chrome_trace_json).
   // Null costs one predictable branch per would-be span.
   telemetry::TraceSink* trace = nullptr;

@@ -3,16 +3,25 @@
 // Both validation (step 2) and merging (step 3) need the same exact query:
 // "was any packet to this destination /24 observed in [from, to] that is NOT
 // part of a replica stream?" — because a routing loop for a prefix must
-// affect *all* packets to that prefix while it lasts. The index stores, per
-// prefix, the sorted timestamps of non-member packets.
+// affect *all* packets to that prefix while it lasts.
+//
+// Layout: one flat array of (packed prefix, timestamp) pairs, sorted once at
+// build by (prefix, timestamp), then queried by binary search. Records
+// arrive in time order, so sorting by the prefix key alone already yields
+// per-prefix time order; the (key, ts) comparator just makes that explicit.
+// Compared to the hash-map-of-vectors this replaces, the build is one
+// append-only pass plus one sort (no per-prefix node allocation or
+// rehashing), and a query is a single lower_bound over contiguous memory.
+// The packed key is (addr << 8) | len — the same packing std::hash<Prefix>
+// and shard_of_prefix use.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/record.h"
+#include "core/record_store.h"
 #include "net/prefix.h"
 #include "net/time.h"
 
@@ -32,6 +41,12 @@ class NonLoopedIndex {
                  const std::vector<bool>& is_member, unsigned shard,
                  unsigned num_shards);
 
+  // Columnized equivalents: same index, built from the SoA store's dst24 /
+  // ts / ok columns (no ParsedRecord traversal).
+  NonLoopedIndex(const RecordStore& store, const std::vector<bool>& is_member);
+  NonLoopedIndex(const RecordStore& store, const std::vector<bool>& is_member,
+                 unsigned shard, unsigned num_shards);
+
   // Any non-looped packet to `prefix24` with timestamp in [from, to]?
   bool any_in(const net::Prefix& prefix24, net::TimeNs from,
               net::TimeNs to) const;
@@ -41,10 +56,20 @@ class NonLoopedIndex {
   std::optional<net::TimeNs> first_in(const net::Prefix& prefix24,
                                       net::TimeNs from, net::TimeNs to) const;
 
-  std::size_t prefix_count() const { return by_prefix_.size(); }
+  // Number of distinct prefixes with at least one non-looped packet.
+  std::size_t prefix_count() const;
+
+  std::size_t entry_count() const { return entries_.size(); }
 
  private:
-  std::unordered_map<net::Prefix, std::vector<net::TimeNs>> by_prefix_;
+  struct Entry {
+    std::uint64_t key = 0;  // (addr << 8) | len
+    net::TimeNs ts = 0;
+  };
+
+  void seal();  // sort by (key, ts) after the build pass
+
+  std::vector<Entry> entries_;
 };
 
 }  // namespace rloop::core

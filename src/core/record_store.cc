@@ -1,0 +1,64 @@
+#include "core/record_store.h"
+
+#include <algorithm>
+
+#include "core/replica_key.h"
+
+namespace rloop::core {
+
+RecordStore RecordStore::columnize(const net::Trace& trace,
+                                   const std::vector<ParsedRecord>& records) {
+  RecordStore store;
+  store.trace_ = &trace;
+  const std::size_t n = records.size();
+  store.ts_.resize(n);
+  store.dst_.resize(n);
+  store.dst24_.resize(n);
+  store.ttl_.resize(n);
+  store.ok_.resize(n);
+  store.key_hash_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ParsedRecord& rec = records[i];
+    store.ts_[i] = rec.ts;
+    store.ok_[i] = rec.ok ? 1 : 0;
+    store.dst_[i] = rec.pkt.ip.dst.value;
+    store.dst24_[i] = rec.dst24.addr.value;
+    store.ttl_[i] = rec.pkt.ip.ttl;
+  }
+  return store;
+}
+
+RecordStore RecordStore::build(const net::Trace& trace,
+                               const std::vector<ParsedRecord>& records) {
+  RecordStore store = columnize(trace, records);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (store.ok_[i] != 0) {
+      store.key_hash_[i] = replica_key_hash(trace[i].bytes());
+    }
+  }
+  return store;
+}
+
+RecordStore RecordStore::build_parallel(const net::Trace& trace,
+                                        const std::vector<ParsedRecord>& records,
+                                        util::ThreadPool& pool,
+                                        std::size_t chunk) {
+  RecordStore store = columnize(trace, records);
+  const std::size_t n = records.size();
+  if (chunk == 0) {
+    chunk = std::max<std::size_t>(1, n / (4 * pool.size() + 1));
+  }
+  const std::size_t tasks = (n + chunk - 1) / chunk;
+  pool.parallel_for(tasks, [&](std::size_t t) {
+    const std::size_t lo = t * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (store.ok_[i] != 0) {
+        store.key_hash_[i] = replica_key_hash(trace[i].bytes());
+      }
+    }
+  }, "hash_chunk");
+  return store;
+}
+
+}  // namespace rloop::core

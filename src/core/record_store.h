@@ -1,0 +1,101 @@
+// Structure-of-arrays view of a parsed trace for the detection hot path.
+//
+// The detect/validate/merge scans read a handful of narrow fields per record
+// (timestamp, TTL, destination /24, replica-key hash); ParsedRecord carries
+// all of them plus the full ParsedPacket, so an array-of-structs scan drags
+// ~10x the bytes it reads through the cache. RecordStore transposes the
+// fields the scans touch into contiguous per-field columns:
+//
+//   ts        int64   capture timestamp
+//   dst       uint32  raw destination address
+//   dst24     uint32  destination address masked to /24
+//   ttl       uint8   IP TTL
+//   ok        uint8   1 when the IP header parsed
+//   key_hash  uint64  replica_key_hash over the captured bytes (0 when !ok)
+//
+// The key-hash column is computed once at build time — the serial and
+// sharded detectors both consume it, so FNV runs exactly once per record on
+// every path. The store also keeps a pointer to the source trace: replica
+// keys are still materialized from the raw captured bytes (byte-precise
+// equality, no false merges), and `bytes(i)` hands those out. The trace must
+// therefore outlive the store.
+//
+// ParsedRecord remains the public API of parse results; the store is built
+// from (trace, records) by the pipeline's columnize stage and is bytewise
+// deterministic: build() and build_parallel() produce identical columns for
+// any pool size (each record writes only its own row).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/record.h"
+#include "net/prefix.h"
+#include "net/time.h"
+#include "net/trace.h"
+#include "util/thread_pool.h"
+
+namespace rloop::core {
+
+class RecordStore {
+ public:
+  RecordStore() = default;
+
+  // Columnizes `records` (which must be parse_trace(trace)); retains a
+  // pointer to `trace` for bytes().
+  static RecordStore build(const net::Trace& trace,
+                           const std::vector<ParsedRecord>& records);
+
+  // build() with the key-hash column computed in parallel chunks on `pool`
+  // (span name "hash_chunk" — hashing is the dominant cost of the build).
+  // Output is bytewise identical to build() for any pool size.
+  static RecordStore build_parallel(const net::Trace& trace,
+                                    const std::vector<ParsedRecord>& records,
+                                    util::ThreadPool& pool,
+                                    std::size_t chunk = 0);
+
+  std::size_t size() const { return ts_.size(); }
+  bool empty() const { return ts_.empty(); }
+
+  bool ok(std::size_t i) const { return ok_[i] != 0; }
+  net::TimeNs ts(std::size_t i) const { return ts_[i]; }
+  std::uint8_t ttl(std::size_t i) const { return ttl_[i]; }
+  net::Ipv4Addr dst(std::size_t i) const { return net::Ipv4Addr(dst_[i]); }
+  net::Prefix dst24(std::size_t i) const {
+    return net::Prefix::of(net::Ipv4Addr(dst24_[i]), 24);
+  }
+  // Packed (addr << 8 | 24) form of dst24, the NonLoopedIndex sort key.
+  std::uint64_t dst24_key(std::size_t i) const {
+    return (static_cast<std::uint64_t>(dst24_[i]) << 8) | 24u;
+  }
+  std::uint64_t key_hash(std::size_t i) const { return key_hash_[i]; }
+
+  // The record's captured bytes (starting at the IP header) in the source
+  // trace; valid only while the trace lives.
+  std::span<const std::byte> bytes(std::size_t i) const {
+    return (*trace_)[i].bytes();
+  }
+
+  // Raw column access for tests and benchmarks.
+  const std::vector<std::uint64_t>& key_hash_column() const {
+    return key_hash_;
+  }
+  const std::vector<net::TimeNs>& ts_column() const { return ts_; }
+
+ private:
+  // Fills every column except key_hash in one pass; hashing (the dominant
+  // build cost) is layered on top serially or in parallel chunks.
+  static RecordStore columnize(const net::Trace& trace,
+                               const std::vector<ParsedRecord>& records);
+
+  const net::Trace* trace_ = nullptr;
+  std::vector<net::TimeNs> ts_;
+  std::vector<std::uint32_t> dst_;
+  std::vector<std::uint32_t> dst24_;
+  std::vector<std::uint8_t> ttl_;
+  std::vector<std::uint8_t> ok_;
+  std::vector<std::uint64_t> key_hash_;
+};
+
+}  // namespace rloop::core

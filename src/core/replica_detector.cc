@@ -1,9 +1,12 @@
 #include "core/replica_detector.h"
 
 #include <algorithm>
-#include <map>
+#include <array>
 #include <string>
 #include <unordered_map>
+
+#include "util/arena.h"
+#include "util/flat_map.h"
 
 namespace rloop::core {
 
@@ -18,16 +21,21 @@ std::vector<int> ReplicaStream::ttl_deltas() const {
 }
 
 int ReplicaStream::dominant_ttl_delta() const {
-  std::map<int, int> counts;
-  for (int d : ttl_deltas()) {
-    if (d > 0) ++counts[d];
+  // A TTL delta fits [1, 255]; a direct-indexed counter avoids the
+  // allocating ordered map this used, and the ascending scan with a strict
+  // `>` keeps the same tie-break (smallest delta wins).
+  std::array<std::uint32_t, 256> counts{};
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    const int d = static_cast<int>(replicas[i - 1].ttl) -
+                  static_cast<int>(replicas[i].ttl);
+    if (d > 0) ++counts[static_cast<std::size_t>(d)];
   }
   int best = 0;
-  int best_count = 0;
-  for (const auto& [delta, count] : counts) {
-    if (count > best_count) {
-      best = delta;
-      best_count = count;
+  std::uint32_t best_count = 0;
+  for (int d = 1; d < 256; ++d) {
+    if (counts[static_cast<std::size_t>(d)] > best_count) {
+      best = d;
+      best_count = counts[static_cast<std::size_t>(d)];
     }
   }
   return best;
@@ -67,12 +75,6 @@ ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config,
 
 namespace {
 
-struct OpenStream {
-  ReplicaStream stream;
-  std::uint8_t last_ttl = 0;
-  net::TimeNs last_ts = 0;
-};
-
 struct LocalCounts {
   std::uint64_t records = 0;
   std::uint64_t replicas = 0;
@@ -89,10 +91,263 @@ struct LocalCounts {
   }
 };
 
-// The serial per-record state machine, factored out so the sharded path can
-// run one instance per shard: feeding a shard exactly the records whose key
-// hashes to it (in trace order) makes each instance's closed-stream set the
-// per-key-identical subset of the serial run's.
+// The canonical emission order: (start, first record index) is a strict
+// total order — a record heads at most one stream — so sorted output does
+// not depend on closing order, and the sharded path's merge of per-shard
+// sorted runs reproduces the serial order exactly.
+void sort_streams(std::vector<ReplicaStream>& streams) {
+  std::sort(streams.begin(), streams.end(),
+            [](const ReplicaStream& a, const ReplicaStream& b) {
+              if (a.start() != b.start()) return a.start() < b.start();
+              return a.replicas.front().record_index <
+                     b.replicas.front().record_index;
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Flat engine: open streams live in one FlatMap keyed by ReplicaKey, replica
+// lists in an arena. One candidate stream per first-seen header means
+// millions of tiny allocations per trace on the old engine; here a stream is
+// a bump-allocated node with two inline replicas (the overwhelming majority
+// of candidates never grow past one), overflowing into arena-chunked spans,
+// all freed wholesale when the state is destroyed.
+
+// Overflow storage for replicas beyond the two inline slots.
+struct ReplicaChunk {
+  static constexpr std::uint32_t kCap = 6;
+  ReplicaChunk* next = nullptr;
+  std::uint32_t n = 0;
+  Replica items[kCap];
+};
+
+// One open candidate stream. Several can be open for one key (IP ID reuse
+// over a long trace); they chain newest-first through `older`, mirroring the
+// back-to-front scan order of the reference engine's per-key vector.
+struct FlatOpenStream {
+  FlatOpenStream* older = nullptr;
+  ReplicaChunk* head_chunk = nullptr;
+  ReplicaChunk* tail_chunk = nullptr;
+  std::uint32_t count = 0;
+  net::TimeNs last_ts = 0;
+  std::uint8_t last_ttl = 0;
+  net::Ipv4Addr dst;
+  net::Prefix dst24;
+  Replica inline_replicas[2];
+
+  void push(util::Arena& arena, const Replica& r) {
+    if (count < 2) {
+      inline_replicas[count] = r;
+    } else {
+      if (tail_chunk == nullptr || tail_chunk->n == ReplicaChunk::kCap) {
+        auto* chunk = arena.create<ReplicaChunk>();
+        if (tail_chunk != nullptr) {
+          tail_chunk->next = chunk;
+        } else {
+          head_chunk = chunk;
+        }
+        tail_chunk = chunk;
+      }
+      tail_chunk->items[tail_chunk->n++] = r;
+    }
+    ++count;
+  }
+
+  net::TimeNs start() const { return inline_replicas[0].ts; }
+  // Every accepted replica updates last_ts, so last_ts is always the final
+  // replica's timestamp — the stream's end.
+  net::TimeNs end() const { return last_ts; }
+  std::uint32_t first_record_index() const {
+    return inline_replicas[0].record_index;
+  }
+
+  std::vector<Replica> materialize() const {
+    std::vector<Replica> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count && i < 2; ++i) {
+      out.push_back(inline_replicas[i]);
+    }
+    for (const ReplicaChunk* c = head_chunk; c != nullptr; c = c->next) {
+      out.insert(out.end(), c->items, c->items + c->n);
+    }
+    return out;
+  }
+};
+
+static_assert(std::is_trivially_destructible_v<FlatOpenStream>,
+              "arena-allocated");
+static_assert(std::is_trivially_destructible_v<ReplicaChunk>,
+              "arena-allocated");
+
+// The per-record state machine on the flat layout. Field-identical output to
+// the reference engine below — including every journal event's payload and
+// every counter, the expired count included: expiry is determined purely by
+// last_ts against the current record's timestamp, and both engines hold the
+// same open set at every record by induction.
+struct FlatDetectState {
+  FlatDetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp,
+                  telemetry::DecisionLog* jl)
+      : config(cfg), spacing(sp), journal(jl) {}
+
+  const ReplicaDetectorConfig& config;
+  telemetry::Histogram* spacing;
+  telemetry::DecisionLog* journal;
+
+  util::Arena arena;
+  util::FlatMap<ReplicaKey, FlatOpenStream*, ReplicaKeyHash> open;
+  std::vector<ReplicaStream> closed;
+  LocalCounts counts;
+
+  // Periodic sweep keeps the open table bounded by the packet arrival rate
+  // times the stream timeout rather than by the trace length: most entries
+  // are ordinary packets that never produce a replica. Sweep timing affects
+  // only memory and the expired counter, never which streams are emitted: a
+  // timed-out stream can no longer be extended (the per-key expiry check
+  // below closes it before any extension attempt).
+  static constexpr std::uint32_t kSweepInterval = 1 << 16;
+  std::uint32_t since_sweep = 0;
+
+  void close_stream(const ReplicaKey& key, const FlatOpenStream* os) {
+    if (os->count >= 2) {
+      ++counts.emitted;
+      telemetry::record(
+          journal, {.kind = telemetry::DecisionKind::stream_emitted,
+                    .dst24 = os->dst24,
+                    .ts = os->end(),
+                    .record_index = os->first_record_index(),
+                    .detail = static_cast<std::int64_t>(os->count),
+                    .detail2 = os->start()});
+      ReplicaStream stream;
+      stream.key = key;
+      stream.dst = os->dst;
+      stream.dst24 = os->dst24;
+      stream.replicas = os->materialize();
+      closed.push_back(std::move(stream));
+    }
+  }
+
+  // Closes every timed-out stream in the chain and returns the surviving
+  // chain, order preserved. Expired nodes stay in the arena (freed
+  // wholesale); idempotent, as erase_if requires.
+  FlatOpenStream* expire_chain(const ReplicaKey& key, FlatOpenStream* head,
+                               net::TimeNs now) {
+    FlatOpenStream* kept = nullptr;
+    FlatOpenStream** tail = &kept;
+    while (head != nullptr) {
+      FlatOpenStream* next = head->older;
+      if (now - head->last_ts > config.stream_timeout) {
+        ++counts.expired;
+        close_stream(key, head);
+      } else {
+        *tail = head;
+        tail = &head->older;
+      }
+      head = next;
+    }
+    *tail = nullptr;
+    return kept;
+  }
+
+  // `key` must be make_replica_key over record i's captured bytes; the
+  // caller supplies it built from the store's precomputed hash column, so
+  // FNV runs exactly once per record on every path.
+  void process(const RecordStore& store, std::size_t i,
+               const ReplicaKey& key) {
+    ++counts.records;
+    const net::TimeNs ts = store.ts(i);
+    const std::uint8_t ttl = store.ttl(i);
+    const auto index = static_cast<std::uint32_t>(i);
+
+    if (++since_sweep >= kSweepInterval) {
+      since_sweep = 0;
+      open.erase_if([&](const ReplicaKey& k, FlatOpenStream*& head) {
+        head = expire_chain(k, head, ts);
+        return head == nullptr;
+      });
+    }
+
+    const auto matches = [&](const ReplicaKey& k) { return k == key; };
+    FlatOpenStream** entry = open.find_hashed(key.hash, matches);
+    if (entry != nullptr) {
+      // Expire stale streams for this key first.
+      *entry = expire_chain(key, *entry, ts);
+
+      // Try to extend the most recent compatible stream (newest first).
+      for (FlatOpenStream* os = *entry; os != nullptr; os = os->older) {
+        const int delta =
+            static_cast<int>(os->last_ttl) - static_cast<int>(ttl);
+        const bool looped = delta >= config.min_ttl_delta;
+        const bool duplicate = config.keep_link_layer_duplicates && delta == 0;
+        if (looped || duplicate) {
+          ++counts.replicas;
+          telemetry::observe(spacing, static_cast<double>(ts - os->last_ts));
+          os->push(arena, {index, ts, ttl});
+          if (looped) os->last_ttl = ttl;
+          os->last_ts = ts;
+          telemetry::record(
+              journal, {.kind = telemetry::DecisionKind::replica_accepted,
+                        .dst24 = store.dst24(i),
+                        .ts = ts,
+                        .record_index = index,
+                        .detail = delta,
+                        .detail2 = static_cast<std::int64_t>(os->count)});
+          return;
+        }
+      }
+
+      // A live candidate stream existed for this exact header, but the TTL
+      // delta disqualified the observation — the one per-packet negative
+      // decision worth journaling (first-seen packets are non-decisions).
+      if (*entry != nullptr) {
+        telemetry::record(
+            journal, {.kind = telemetry::DecisionKind::replica_rejected,
+                      .dst24 = store.dst24(i),
+                      .ts = ts,
+                      .record_index = index,
+                      .detail = static_cast<int>((*entry)->last_ttl) -
+                                static_cast<int>(ttl)});
+      }
+    }
+
+    // Start a new stream headed by this packet.
+    ++counts.opened;
+    auto* os = arena.create<FlatOpenStream>();
+    os->dst = store.dst(i);
+    os->dst24 = store.dst24(i);
+    os->inline_replicas[0] = {index, ts, ttl};
+    os->count = 1;
+    os->last_ttl = ttl;
+    os->last_ts = ts;
+    if (entry != nullptr) {
+      os->older = *entry;
+      *entry = os;  // no rehash since find_hashed: the slot pointer is valid
+    } else {
+      open.emplace_hashed(key.hash, matches, key, os);
+    }
+  }
+
+  std::vector<ReplicaStream> finish() {
+    open.for_each([&](const ReplicaKey& key, FlatOpenStream*& head) {
+      for (const FlatOpenStream* os = head; os != nullptr; os = os->older) {
+        close_stream(key, os);
+      }
+    });
+    open.clear();
+    sort_streams(closed);
+    return std::move(closed);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reference engine (pre-flat-map), retained verbatim as the differential
+// oracle for detect_reference(). Do not modify without regenerating the
+// golden fixtures — its output defines the pipeline's semantics.
+
+struct OpenStream {
+  ReplicaStream stream;
+  std::uint8_t last_ttl = 0;
+  net::TimeNs last_ts = 0;
+};
+
 struct DetectState {
   DetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp,
               telemetry::DecisionLog* jl)
@@ -106,17 +361,8 @@ struct DetectState {
   // so each key maps to a small vector of open streams.
   std::unordered_map<ReplicaKey, std::vector<OpenStream>, ReplicaKeyHash> open;
   std::vector<ReplicaStream> closed;
-  // Counters accumulate in plain locals and flush to the shared atomics once
-  // per detect() call — the per-record loop pays no atomic traffic for
-  // telemetry (only the per-match spacing histogram, and matches are rare).
   LocalCounts counts;
 
-  // Periodic sweep keeps the open table bounded by the packet arrival rate
-  // times the stream timeout rather than by the trace length: most entries
-  // are ordinary packets that never produce a replica. Sweep timing affects
-  // only memory and the expired counter, never which streams are emitted: a
-  // timed-out stream can no longer be extended (the per-key expiry check
-  // below closes it before any extension attempt).
   static constexpr std::uint32_t kSweepInterval = 1 << 16;
   std::uint32_t since_sweep = 0;
 
@@ -135,9 +381,6 @@ struct DetectState {
     }
   }
 
-  // `key` must be make_replica_key over rec's captured bytes; the caller
-  // supplies it so the sharded path can reuse the hash it already computed
-  // for shard assignment instead of running FNV twice per record.
   void process(const ParsedRecord& rec, const ReplicaKey& key) {
     ++counts.records;
 
@@ -195,9 +438,6 @@ struct DetectState {
       }
     }
 
-    // A live candidate stream existed for this exact header, but the TTL
-    // delta disqualified the observation — the one per-packet negative
-    // decision worth journaling (first-seen packets are non-decisions).
     if (!streams.empty()) {
       telemetry::record(
           journal, {.kind = telemetry::DecisionKind::replica_rejected,
@@ -220,11 +460,6 @@ struct DetectState {
     streams.push_back(std::move(os));
   }
 
-  // Closes everything still open and sorts emissions into the pipeline's
-  // canonical stream order. (start, first record index) is a strict total
-  // order — a record heads at most one stream — so sorted output does not
-  // depend on closing order, and the sharded path's merge of per-shard
-  // sorted runs reproduces the serial order exactly.
   std::vector<ReplicaStream> finish() {
     for (auto& [key, streams] : open) {
       for (auto& os : streams) {
@@ -232,12 +467,7 @@ struct DetectState {
       }
     }
     open.clear();
-    std::sort(closed.begin(), closed.end(),
-              [](const ReplicaStream& a, const ReplicaStream& b) {
-                if (a.start() != b.start()) return a.start() < b.start();
-                return a.replicas.front().record_index <
-                       b.replicas.front().record_index;
-              });
+    sort_streams(closed);
     return std::move(closed);
   }
 };
@@ -245,11 +475,13 @@ struct DetectState {
 }  // namespace
 
 std::vector<ReplicaStream> ReplicaDetector::detect(
-    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
-  DetectState state(config_, m_spacing_, journal_);
-  for (const ParsedRecord& rec : records) {
-    if (!rec.ok) continue;
-    state.process(rec, make_replica_key(trace[rec.index].bytes()));
+    const RecordStore& store) const {
+  FlatDetectState state(config_, m_spacing_, journal_);
+  const std::size_t n = store.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!store.ok(i)) continue;
+    state.process(store, i,
+                  make_replica_key(store.bytes(i), store.key_hash(i)));
   }
   auto closed = state.finish();
 
@@ -261,40 +493,36 @@ std::vector<ReplicaStream> ReplicaDetector::detect(
   return closed;
 }
 
+std::vector<ReplicaStream> ReplicaDetector::detect(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
+  return detect(RecordStore::build(trace, records));
+}
+
 std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
-    const net::Trace& trace, const std::vector<ParsedRecord>& records,
-    util::ThreadPool& pool, unsigned num_shards) const {
-  if (num_shards < 2) return detect(trace, records);
+    const RecordStore& store, util::ThreadPool& pool,
+    unsigned num_shards) const {
+  if (num_shards < 2) return detect(store);
+  const std::size_t n = store.size();
 
-  // Pass 1 (parallel over record chunks): normalized-header hash per
-  // record, computed once and reused both for shard assignment (pass 2) and
-  // for per-shard key construction (pass 3) — the whole sharded path runs
-  // FNV exactly once per record, same as serial.
-  std::vector<std::uint64_t> hashes(records.size(), 0);
-  {
-    const std::size_t chunk =
-        std::max<std::size_t>(1, records.size() / (4 * pool.size() + 1));
-    const std::size_t tasks = (records.size() + chunk - 1) / chunk;
-    pool.parallel_for(tasks, [&](std::size_t t) {
-      const std::size_t lo = t * chunk;
-      const std::size_t hi = std::min(records.size(), lo + chunk);
-      for (std::size_t i = lo; i < hi; ++i) {
-        if (!records[i].ok) continue;
-        hashes[i] = replica_key_hash(trace[records[i].index].bytes());
-      }
-    }, "hash_chunk");
+  // Per-shard record-index lists, in trace (= time) order, sized exactly:
+  // one counting pass over the hash column, then one reserve per shard.
+  std::vector<std::uint32_t> shard_size(num_shards, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!store.ok(i)) continue;
+    ++shard_size[shard_of_key_hash(store.key_hash(i), num_shards)];
   }
-
-  // Pass 2: per-shard record-index lists, in trace (= time) order.
   std::vector<std::vector<std::uint32_t>> shard_records(num_shards);
-  for (auto& v : shard_records) v.reserve(records.size() / num_shards + 1);
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    if (!records[i].ok) continue;
-    shard_records[shard_of_key_hash(hashes[i], num_shards)].push_back(
+  for (unsigned s = 0; s < num_shards; ++s) {
+    shard_records[s].reserve(shard_size[s]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!store.ok(i)) continue;
+    shard_records[shard_of_key_hash(store.key_hash(i), num_shards)].push_back(
         static_cast<std::uint32_t>(i));
   }
 
-  // Pass 3 (parallel over shards): the serial state machine per shard.
+  // Parallel over shards: the serial state machine per shard, fed exactly
+  // the records whose key hashes to it.
   std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
   for (unsigned s = 0; s < num_shards; ++s) {
     shard_latency[s] = telemetry::get_histogram(
@@ -307,11 +535,11 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
   std::vector<LocalCounts> shard_counts(num_shards);
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    DetectState state(config_, m_spacing_, journal_);
+    FlatDetectState state(config_, m_spacing_, journal_);
     for (const std::uint32_t i : shard_records[s]) {
-      // Reuse the pass-1 hash: per-shard key construction is a masked copy.
-      state.process(records[i], make_replica_key(trace[records[i].index].bytes(),
-                                                 hashes[i]));
+      // Reuse the store's hash: per-shard key construction is a masked copy.
+      state.process(store, i,
+                    make_replica_key(store.bytes(i), store.key_hash(i)));
     }
     shard_closed[s] = state.finish();
     shard_counts[s] = state.counts;
@@ -331,18 +559,38 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
   for (auto& shard : shard_closed) {
     std::move(shard.begin(), shard.end(), std::back_inserter(closed));
   }
-  std::sort(closed.begin(), closed.end(),
-            [](const ReplicaStream& a, const ReplicaStream& b) {
-              if (a.start() != b.start()) return a.start() < b.start();
-              return a.replicas.front().record_index <
-                     b.replicas.front().record_index;
-            });
+  sort_streams(closed);
 
   telemetry::inc(m_records_, counts.records);
   telemetry::inc(m_replicas_, counts.replicas);
   telemetry::inc(m_streams_opened_, counts.opened);
   telemetry::inc(m_streams_expired_, counts.expired);
   telemetry::inc(m_streams_emitted_, counts.emitted);
+  return closed;
+}
+
+std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records,
+    util::ThreadPool& pool, unsigned num_shards) const {
+  if (num_shards < 2) return detect(trace, records);
+  return detect_sharded(RecordStore::build_parallel(trace, records, pool),
+                        pool, num_shards);
+}
+
+std::vector<ReplicaStream> ReplicaDetector::detect_reference(
+    const net::Trace& trace, const std::vector<ParsedRecord>& records) const {
+  DetectState state(config_, m_spacing_, journal_);
+  for (const ParsedRecord& rec : records) {
+    if (!rec.ok) continue;
+    state.process(rec, make_replica_key(trace[rec.index].bytes()));
+  }
+  auto closed = state.finish();
+
+  telemetry::inc(m_records_, state.counts.records);
+  telemetry::inc(m_replicas_, state.counts.replicas);
+  telemetry::inc(m_streams_opened_, state.counts.opened);
+  telemetry::inc(m_streams_expired_, state.counts.expired);
+  telemetry::inc(m_streams_emitted_, state.counts.emitted);
   return closed;
 }
 

@@ -1,7 +1,9 @@
 #include "core/stream_merger.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <memory>
 #include <string>
 
 namespace rloop::core {
@@ -38,18 +40,20 @@ void merge_prefix_group(const net::Prefix& prefix,
   bool open = false;
   auto flush = [&]() {
     if (!open) return;
-    // The loop's hop count: mode of member streams' dominant deltas.
-    std::map<int, int> delta_counts;
+    // The loop's hop count: mode of member streams' dominant deltas. Deltas
+    // fit [1, 255], so a direct-indexed counter replaces the ordered map;
+    // the ascending scan keeps the same smallest-delta tie-break.
+    std::array<std::uint32_t, 256> delta_counts{};
     for (std::uint32_t si : current.stream_indices) {
       const int d = valid_streams[si].dominant_ttl_delta();
-      if (d > 0) ++delta_counts[d];
+      if (d > 0) ++delta_counts[static_cast<std::size_t>(d)];
     }
     int best = 0;
-    int best_count = 0;
-    for (const auto& [delta, count] : delta_counts) {
-      if (count > best_count) {
-        best = delta;
-        best_count = count;
+    std::uint32_t best_count = 0;
+    for (int d = 1; d < 256; ++d) {
+      if (delta_counts[static_cast<std::size_t>(d)] > best_count) {
+        best = d;
+        best_count = delta_counts[static_cast<std::size_t>(d)];
       }
     }
     current.ttl_delta = best;
@@ -143,7 +147,20 @@ std::vector<RoutingLoop> StreamMerger::merge(
   // demonstrably healthy between two streams.
   const auto member = stream_membership(records.size(), valid_streams);
   const NonLoopedIndex index(records, member);
+  return merge_with_index(index, valid_streams);
+}
 
+std::vector<RoutingLoop> StreamMerger::merge(
+    const RecordStore& store,
+    const std::vector<ReplicaStream>& valid_streams) const {
+  const auto member = stream_membership(store.size(), valid_streams);
+  const NonLoopedIndex index(store, member);
+  return merge_with_index(index, valid_streams);
+}
+
+std::vector<RoutingLoop> StreamMerger::merge_with_index(
+    const NonLoopedIndex& index,
+    const std::vector<ReplicaStream>& valid_streams) const {
   // Group stream indices by prefix, keeping time order within each group.
   std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
   for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
@@ -168,9 +185,33 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded(
     const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
     unsigned num_shards) const {
   if (num_shards < 2) return merge(records, valid_streams);
+  auto member = std::make_shared<const std::vector<bool>>(
+      stream_membership(records.size(), valid_streams));
+  return merge_sharded_impl(
+      [&records, member, num_shards](unsigned s) {
+        return NonLoopedIndex(records, *member, s, num_shards);
+      },
+      valid_streams, pool, num_shards);
+}
 
-  const auto member = stream_membership(records.size(), valid_streams);
+std::vector<RoutingLoop> StreamMerger::merge_sharded(
+    const RecordStore& store,
+    const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+    unsigned num_shards) const {
+  if (num_shards < 2) return merge(store, valid_streams);
+  auto member = std::make_shared<const std::vector<bool>>(
+      stream_membership(store.size(), valid_streams));
+  return merge_sharded_impl(
+      [&store, member, num_shards](unsigned s) {
+        return NonLoopedIndex(store, *member, s, num_shards);
+      },
+      valid_streams, pool, num_shards);
+}
 
+std::vector<RoutingLoop> StreamMerger::merge_sharded_impl(
+    const std::function<NonLoopedIndex(unsigned)>& shard_index,
+    const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+    unsigned num_shards) const {
   std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
   for (unsigned s = 0; s < num_shards; ++s) {
     shard_latency[s] = telemetry::get_histogram(
@@ -184,8 +225,7 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded(
   std::vector<std::uint64_t> shard_merges(num_shards, 0);
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    const NonLoopedIndex index(records, member, static_cast<unsigned>(s),
-                               num_shards);
+    const NonLoopedIndex index = shard_index(static_cast<unsigned>(s));
     // Group this shard's prefixes only, with global stream indices.
     std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
     for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/parallel.h"
 #include "core/prefix_index.h"
+#include "core/record_store.h"
 #include "core/replica_detector.h"
 #include "net/prefix.h"
 #include "net/time.h"
@@ -56,6 +58,12 @@ class StreamMerger {
       const std::vector<ParsedRecord>& records,
       const std::vector<ReplicaStream>& valid_streams) const;
 
+  // Columnized equivalent: identical loops, with the NonLoopedIndex built
+  // from the SoA store's columns instead of ParsedRecords.
+  std::vector<RoutingLoop> merge(
+      const RecordStore& store,
+      const std::vector<ReplicaStream>& valid_streams) const;
+
   // Sharded merge(): partitions prefixes across shards (merging is
   // independent per /24 — streams of different prefixes never merge), each
   // shard using a NonLoopedIndex of its own prefixes for the gap checks.
@@ -68,7 +76,24 @@ class StreamMerger {
       const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
       unsigned num_shards) const;
 
+  // Columnized equivalent of merge_sharded().
+  std::vector<RoutingLoop> merge_sharded(
+      const RecordStore& store,
+      const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+      unsigned num_shards) const;
+
  private:
+  // Shared merge loops; the record-based and store-based overloads differ
+  // only in how the NonLoopedIndex is built, so both delegate here and
+  // cannot drift.
+  std::vector<RoutingLoop> merge_with_index(
+      const NonLoopedIndex& index,
+      const std::vector<ReplicaStream>& valid_streams) const;
+  std::vector<RoutingLoop> merge_sharded_impl(
+      const std::function<NonLoopedIndex(unsigned)>& shard_index,
+      const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+      unsigned num_shards) const;
+
   MergerConfig config_;
   telemetry::Registry* registry_ = nullptr;
   telemetry::DecisionLog* journal_ = nullptr;

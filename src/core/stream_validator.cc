@@ -1,6 +1,7 @@
 #include "core/stream_validator.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace rloop::core {
@@ -76,14 +77,27 @@ Verdict judge(const ReplicaStream& stream, std::size_t min_replicas,
 std::vector<ReplicaStream> StreamValidator::validate(
     const std::vector<ParsedRecord>& records,
     std::vector<ReplicaStream> streams, ValidationStats* stats) const {
-  ValidationStats local;
-  local.input_streams = streams.size();
-
   // Membership covers every raw stream (>= 2 elements): even a stream that
   // itself fails validation consists of looped-looking packets, which must
   // not count as refuting evidence against an overlapping stream.
   const auto member = stream_membership(records.size(), streams);
   const NonLoopedIndex index(records, member);
+  return validate_with_index(index, std::move(streams), stats);
+}
+
+std::vector<ReplicaStream> StreamValidator::validate(
+    const RecordStore& store, std::vector<ReplicaStream> streams,
+    ValidationStats* stats) const {
+  const auto member = stream_membership(store.size(), streams);
+  const NonLoopedIndex index(store, member);
+  return validate_with_index(index, std::move(streams), stats);
+}
+
+std::vector<ReplicaStream> StreamValidator::validate_with_index(
+    const NonLoopedIndex& index, std::vector<ReplicaStream> streams,
+    ValidationStats* stats) const {
+  ValidationStats local;
+  local.input_streams = streams.size();
 
   std::vector<ReplicaStream> valid;
   valid.reserve(streams.size());
@@ -113,10 +127,37 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded(
     std::vector<ReplicaStream> streams, util::ThreadPool& pool,
     unsigned num_shards, ValidationStats* stats) const {
   if (num_shards < 2) return validate(records, std::move(streams), stats);
+  // The membership vector must be shared across shard-index builds, so it is
+  // captured by the factory rather than rebuilt per shard.
+  auto member = std::make_shared<const std::vector<bool>>(
+      stream_membership(records.size(), streams));
+  return validate_sharded_impl(
+      [&records, member, num_shards](unsigned s) {
+        return NonLoopedIndex(records, *member, s, num_shards);
+      },
+      std::move(streams), pool, num_shards, stats);
+}
 
+std::vector<ReplicaStream> StreamValidator::validate_sharded(
+    const RecordStore& store, std::vector<ReplicaStream> streams,
+    util::ThreadPool& pool, unsigned num_shards,
+    ValidationStats* stats) const {
+  if (num_shards < 2) return validate(store, std::move(streams), stats);
+  auto member = std::make_shared<const std::vector<bool>>(
+      stream_membership(store.size(), streams));
+  return validate_sharded_impl(
+      [&store, member, num_shards](unsigned s) {
+        return NonLoopedIndex(store, *member, s, num_shards);
+      },
+      std::move(streams), pool, num_shards, stats);
+}
+
+std::vector<ReplicaStream> StreamValidator::validate_sharded_impl(
+    const std::function<NonLoopedIndex(unsigned)>& shard_index,
+    std::vector<ReplicaStream> streams, util::ThreadPool& pool,
+    unsigned num_shards, ValidationStats* stats) const {
   ValidationStats local;
   local.input_streams = streams.size();
-  const auto member = stream_membership(records.size(), streams);
 
   std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
   for (unsigned s = 0; s < num_shards; ++s) {
@@ -132,8 +173,7 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded(
   std::vector<Verdict> verdicts(streams.size(), Verdict::keep);
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    const NonLoopedIndex index(records, member, static_cast<unsigned>(s),
-                               num_shards);
+    const NonLoopedIndex index = shard_index(static_cast<unsigned>(s));
     for (std::size_t i = 0; i < streams.size(); ++i) {
       if (shard_of_prefix(streams[i].dst24, num_shards) != s) continue;
       verdicts[i] = judge(streams[i], config_.min_replicas, index, journal_);

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/parallel.h"
 #include "core/prefix_index.h"
+#include "core/record_store.h"
 #include "core/replica_detector.h"
 #include "telemetry/decision_log.h"
 #include "telemetry/registry.h"
@@ -52,6 +54,12 @@ class StreamValidator {
                                       std::vector<ReplicaStream> streams,
                                       ValidationStats* stats = nullptr) const;
 
+  // Columnized equivalent: identical verdicts, with the NonLoopedIndex built
+  // from the SoA store's columns instead of ParsedRecords.
+  std::vector<ReplicaStream> validate(const RecordStore& store,
+                                      std::vector<ReplicaStream> streams,
+                                      ValidationStats* stats = nullptr) const;
+
   // Sharded validate(): partitions by destination /24 prefix. Each shard
   // builds a NonLoopedIndex restricted to its prefixes — the only prefix a
   // stream's validation ever queries is its own dst24, so the restricted
@@ -64,7 +72,24 @@ class StreamValidator {
       std::vector<ReplicaStream> streams, util::ThreadPool& pool,
       unsigned num_shards, ValidationStats* stats = nullptr) const;
 
+  // Columnized equivalent of validate_sharded().
+  std::vector<ReplicaStream> validate_sharded(
+      const RecordStore& store, std::vector<ReplicaStream> streams,
+      util::ThreadPool& pool, unsigned num_shards,
+      ValidationStats* stats = nullptr) const;
+
  private:
+  // Shared verdict loops; the record-based and store-based overloads differ
+  // only in how the NonLoopedIndex is built, so both delegate here and
+  // cannot drift.
+  std::vector<ReplicaStream> validate_with_index(
+      const NonLoopedIndex& index, std::vector<ReplicaStream> streams,
+      ValidationStats* stats) const;
+  std::vector<ReplicaStream> validate_sharded_impl(
+      const std::function<NonLoopedIndex(unsigned)>& shard_index,
+      std::vector<ReplicaStream> streams, util::ThreadPool& pool,
+      unsigned num_shards, ValidationStats* stats) const;
+
   ValidatorConfig config_;
   telemetry::Registry* registry_ = nullptr;
   telemetry::DecisionLog* journal_ = nullptr;

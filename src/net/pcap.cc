@@ -84,6 +84,9 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
   telemetry::Counter* m_skipped_non_ipv4 = telemetry::get_counter(
       registry, "rloop_pcap_records_skipped_total", {{"reason", "non_ipv4"}},
       "pcap records skipped while reading");
+  telemetry::Counter* m_truncated = telemetry::get_counter(
+      registry, "rloop_pcap_truncated_records_total", {},
+      "pcap records dropped because the capture ended mid-record");
 
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_pcap: cannot open " + path);
@@ -134,7 +137,10 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
     buf.resize(cap_len);
     in.read(reinterpret_cast<char*>(buf.data()), cap_len);
     if (in.gcount() != static_cast<std::streamsize>(cap_len)) {
-      throw std::runtime_error("read_pcap: truncated record");
+      // The capture ends mid-record (killed tcpdump, full disk): keep what
+      // was read and count the remnant instead of failing the whole trace.
+      telemetry::inc(m_truncated);
+      break;
     }
 
     if (!have_epoch) {
@@ -173,6 +179,12 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
               std::span<const std::byte>(
                   reinterpret_cast<const std::byte*>(pkt), pkt_len),
               pkt_wire_len);
+  }
+  // A partial record header at EOF is the same truncation case as a partial
+  // body: count it rather than silently treating it as a clean end.
+  if (in.gcount() > 0 &&
+      in.gcount() < static_cast<std::streamsize>(kRecordHeaderSize)) {
+    telemetry::inc(m_truncated);
   }
   return trace;
 }

@@ -26,9 +26,13 @@ void write_pcap(const Trace& trace, const std::string& path);
 
 // Reads a pcap file into a Trace (capped at kSnapLen captured bytes per
 // record). The first record's absolute second becomes the trace epoch.
-// Throws std::runtime_error on I/O failure or malformed file structure.
-// `registry` (optional) receives rloop_pcap_records_total and per-reason
+// Throws std::runtime_error on I/O failure or malformed file structure. A
+// capture that ends mid-record (killed tcpdump, full disk) is NOT malformed:
+// the complete records are kept and the remnant is counted in
+// rloop_pcap_truncated_records_total. `registry` (optional) additionally
+// receives rloop_pcap_records_total and per-reason
 // rloop_pcap_records_skipped_total counters.
+// See net/pcap_mmap.h for the zero-copy variant (read_pcap_fast).
 Trace read_pcap(const std::string& path,
                 telemetry::Registry* registry = nullptr);
 

@@ -1,0 +1,294 @@
+// util/FlatMap correctness: unit pins for the open-addressing invariants
+// (insert/erase/rehash, backward-shift erase, collision chains, the
+// precomputed-hash entry points) plus a randomized differential test that
+// replays the same operation stream into std::unordered_map and demands
+// identical observable behavior. Also exercises util/Arena, which the
+// detector pairs with the map.
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace rloop::util {
+namespace {
+
+TEST(FlatMap, InsertFindEraseBasics) {
+  FlatMap<int, std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), nullptr);
+
+  auto [v1, inserted1] = map.emplace(1, "one");
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, "one");
+  auto [v2, inserted2] = map.emplace(1, "uno");
+  EXPECT_FALSE(inserted2) << "second emplace of same key must not insert";
+  EXPECT_EQ(*v2, "one") << "existing value must be untouched";
+  EXPECT_EQ(v1, v2);
+
+  map.emplace(2, "two");
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(2), nullptr);
+  EXPECT_EQ(*map.find(2), "two");
+
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.find(1), nullptr);
+  ASSERT_NE(map.find(2), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int, int> map;
+  map[7] += 3;
+  map[7] += 4;
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 7);
+}
+
+TEST(FlatMap, RehashPreservesAllEntries) {
+  FlatMap<int, int> map;
+  constexpr int kN = 20000;  // forces many doublings from the minimum size
+  for (int i = 0; i < kN; ++i) map.emplace(i, i * 3);
+  EXPECT_EQ(map.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(*map.find(i), i * 3) << i;
+  }
+  EXPECT_EQ(map.find(kN), nullptr);
+  // Power-of-two slot count, load kept at or below 7/8.
+  EXPECT_EQ(map.bucket_count() & (map.bucket_count() - 1), 0u);
+  EXPECT_LE(map.size() * 8, map.bucket_count() * 7);
+}
+
+// All keys share one hash value: every probe walks one collision chain, and
+// erase exercises backward shift across the whole cluster. Equality still
+// separates the keys — no false merges.
+struct ConstantHash {
+  std::size_t operator()(int) const noexcept { return 42; }
+};
+
+TEST(FlatMap, CollisionChainInsertFindErase) {
+  FlatMap<int, int, ConstantHash> map;
+  constexpr int kN = 120;  // well below the uint8 probe-distance bound
+  for (int i = 0; i < kN; ++i) map.emplace(i, -i);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(*map.find(i), -i) << i;
+  }
+  EXPECT_EQ(map.find(kN + 1), nullptr);
+
+  // Erase from the middle of the chain; the rest must stay reachable.
+  for (int i = 0; i < kN; i += 3) EXPECT_TRUE(map.erase(i)) << i;
+  for (int i = 0; i < kN; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(map.find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(map.find(i), nullptr) << i;
+      EXPECT_EQ(*map.find(i), -i) << i;
+    }
+  }
+}
+
+TEST(FlatMap, DegenerateHashBeyondProbeBoundThrows) {
+  FlatMap<int, int, ConstantHash> map;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) map.emplace(i, i);
+      },
+      std::length_error);
+}
+
+TEST(FlatMap, PrecomputedHashPathMatchesNormalPath) {
+  FlatMap<std::uint64_t, int> map;
+  const std::hash<std::uint64_t> hasher;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t h = hasher(k);
+    auto [value, inserted] = map.emplace_hashed(
+        h, [&](const std::uint64_t& stored) { return stored == k; }, k,
+        static_cast<int>(k * 2));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*value, static_cast<int>(k * 2));
+  }
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t h = hasher(k);
+    // find_hashed must agree with find.
+    int* by_hash = map.find_hashed(
+        h, [&](const std::uint64_t& stored) { return stored == k; });
+    ASSERT_NE(by_hash, nullptr) << k;
+    EXPECT_EQ(by_hash, map.find(k)) << k;
+  }
+  // erase_hashed removes exactly the matching key.
+  EXPECT_TRUE(map.erase_hashed(
+      hasher(7), [](const std::uint64_t& stored) { return stored == 7; }));
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_NE(map.find(8), nullptr);
+}
+
+TEST(FlatMap, EraseIfSweepsPredicatedEntries) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 5000; ++i) map.emplace(i, i);
+  const std::size_t erased =
+      map.erase_if([](const int& k, int&) { return k % 2 == 0; });
+  EXPECT_EQ(erased, 2500u);
+  EXPECT_EQ(map.size(), 2500u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(map.find(i) != nullptr, i % 2 == 1) << i;
+  }
+  // A sweep erasing everything leaves an empty, reusable map.
+  map.erase_if([](const int&, int&) { return true; });
+  EXPECT_TRUE(map.empty());
+  map.emplace(1, 1);
+  EXPECT_NE(map.find(1), nullptr);
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce) {
+  FlatMap<int, int> map;
+  for (int i = 0; i < 777; ++i) map.emplace(i, 1);
+  std::vector<int> seen(777, 0);
+  map.for_each([&](const int& k, int&) { ++seen[static_cast<size_t>(k)]; });
+  for (int i = 0; i < 777; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], 1) << i;
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndReleasesEntries) {
+  FlatMap<int, std::string> map;
+  for (int i = 0; i < 100; ++i) map.emplace(i, std::string(100, 'x'));
+  const auto cap = map.bucket_count();
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.bucket_count(), cap);
+  EXPECT_EQ(map.find(5), nullptr);
+  map.emplace(5, "back");
+  EXPECT_EQ(*map.find(5), "back");
+}
+
+// Weak-but-legal hash: many collisions, low-bit structure. The map must
+// behave identically to std::unordered_map regardless.
+struct LousyHash {
+  std::size_t operator()(std::uint32_t k) const noexcept { return k % 97; }
+};
+
+template <class Hasher>
+void run_differential(std::uint64_t seed, int ops) {
+  util::Rng rng(seed);
+  FlatMap<std::uint32_t, std::uint64_t, Hasher> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t, Hasher> reference;
+  for (int op = 0; op < ops; ++op) {
+    const std::uint32_t key =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 400));
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert
+        const std::uint64_t value = rng.next_u64();
+        const auto [ptr, inserted] = flat.emplace(key, value);
+        const auto [it, ref_inserted] = reference.emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+        ASSERT_EQ(*ptr, it->second) << "op " << op;
+        break;
+      }
+      case 4:
+      case 5: {  // erase
+        ASSERT_EQ(flat.erase(key), reference.erase(key) == 1) << "op " << op;
+        break;
+      }
+      case 6: {  // bracket upsert
+        const std::uint64_t value = rng.next_u64();
+        flat[key] = value;
+        reference[key] = value;
+        break;
+      }
+      default: {  // lookup
+        const auto* ptr = flat.find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(ptr != nullptr, it != reference.end()) << "op " << op;
+        if (ptr != nullptr) {
+          ASSERT_EQ(*ptr, it->second) << "op " << op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), reference.size()) << "op " << op;
+  }
+  // Full-table sweep comparison at the end.
+  std::size_t visited = 0;
+  flat.for_each([&](const std::uint32_t& k, std::uint64_t& v) {
+    ++visited;
+    const auto it = reference.find(k);
+    ASSERT_NE(it, reference.end()) << k;
+    EXPECT_EQ(v, it->second) << k;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMapDifferential, MatchesUnorderedMapAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    run_differential<std::hash<std::uint32_t>>(seed, 20000);
+  }
+}
+
+TEST(FlatMapDifferential, MatchesUnorderedMapWithLousyHash) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    run_differential<LousyHash>(seed, 12000);
+  }
+}
+
+// --- Arena -------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);  // small chunks to force growth
+  struct Node {
+    std::uint64_t a;
+    std::uint32_t b;
+  };
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 1000; ++i) {
+    Node* n = arena.create<Node>(Node{static_cast<std::uint64_t>(i),
+                                      static_cast<std::uint32_t>(i * 2)});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(n) % alignof(Node), 0u);
+    nodes.push_back(n);
+  }
+  // Every object keeps its value: no overlap between allocations.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(nodes[static_cast<size_t>(i)]->a, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(nodes[static_cast<size_t>(i)]->b,
+              static_cast<std::uint32_t>(i * 2));
+  }
+  EXPECT_GT(arena.chunk_count(), 1u) << "small chunks must have grown";
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena(128);
+  auto* big = arena.allocate_array<std::uint8_t>(10000);
+  big[0] = 1;
+  big[9999] = 2;
+  EXPECT_EQ(big[0], 1);
+  EXPECT_EQ(big[9999], 2);
+  // Small allocations still work afterwards.
+  auto* small = arena.create<std::uint64_t>(77u);
+  EXPECT_EQ(*small, 77u);
+}
+
+TEST(Arena, ReleaseFreesWholesaleAndAllowsReuse) {
+  Arena arena;
+  (void)arena.allocate_array<std::uint64_t>(1000);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 0u);
+  auto* p = arena.create<int>(5);
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace rloop::util

@@ -219,14 +219,43 @@ TEST_F(PcapTest, RejectsMissingFile) {
                std::runtime_error);
 }
 
-TEST_F(PcapTest, RejectsTruncatedRecord) {
+TEST_F(PcapTest, TruncatedFinalRecordIsCountedNotFatal) {
+  // A capture that ends mid-record (killed tcpdump, full disk) must yield
+  // every complete record plus a counted warning, not a failed read.
+  Trace trace("rt", 0);
+  trace.add(0, sample_packet(64, 1), 92);
+  trace.add(kMillisecond, sample_packet(62, 2), 92);
+  write_pcap(trace, path_);
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);  // chop into record 2's body
+
+  telemetry::Registry reg;
+  const Trace back = read_pcap(path_, &reg);
+  EXPECT_EQ(back.size(), 1u) << "complete records must survive";
+  EXPECT_EQ(back[0].data, trace[0].data);
+  EXPECT_EQ(telemetry::get_counter(&reg, "rloop_pcap_truncated_records_total",
+                                   {}, "")
+                ->value(),
+            1u);
+}
+
+TEST_F(PcapTest, TruncatedRecordHeaderIsCountedNotFatal) {
   Trace trace("rt", 0);
   trace.add(0, sample_packet(64, 1), 92);
   write_pcap(trace, path_);
-  // Chop a few bytes off the end.
-  const auto size = std::filesystem::file_size(path_);
-  std::filesystem::resize_file(path_, size - 3);
-  EXPECT_THROW(read_pcap(path_), std::runtime_error);
+  // Leave only 5 bytes of a would-be second record header.
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  const char junk[5] = {1, 2, 3, 4, 5};
+  out.write(junk, sizeof junk);
+  out.close();
+
+  telemetry::Registry reg;
+  const Trace back = read_pcap(path_, &reg);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(telemetry::get_counter(&reg, "rloop_pcap_truncated_records_total",
+                                   {}, "")
+                ->value(),
+            1u);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+#include "net/pcap_mmap.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/pcap.h"
+#include "net/time.h"
+
+namespace rloop::net {
+namespace {
+
+class PcapMmapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rloop_pcap_mmap_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".pcap"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+ParsedPacket sample_packet(std::uint8_t ttl, std::uint16_t id) {
+  return make_udp_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(203, 0, 113, 5),
+                         1234, 53, 64, ttl, id);
+}
+
+// Both readers must produce the same trace, record for record: the mmap
+// parser is only an optimization, never a behavior change.
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.epoch_unix_s(), b.epoch_unix_s());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts) << i;
+    EXPECT_EQ(a[i].wire_len, b[i].wire_len) << i;
+    EXPECT_EQ(a[i].cap_len, b[i].cap_len) << i;
+    EXPECT_EQ(a[i].data, b[i].data) << i;
+  }
+}
+
+TEST_F(PcapMmapTest, MatchesStreamingReaderOnRoundtripFile) {
+  Trace trace("rt", 1'005'224'400);
+  for (int i = 0; i < 50; ++i) {
+    trace.add(i * kMillisecond + i,
+              sample_packet(static_cast<std::uint8_t>(64 - i % 4),
+                            static_cast<std::uint16_t>(i)),
+              92);
+  }
+  write_pcap(trace, path_);
+  expect_traces_equal(read_pcap(path_), read_pcap_fast(path_));
+}
+
+TEST_F(PcapMmapTest, MatchesStreamingReaderOnMicrosecondLittleEndian) {
+  const auto pkt = sample_packet(60, 7);
+  std::array<std::byte, kMaxHeaderBytes> pkt_buf{};
+  const auto pkt_len = serialize_packet(pkt, pkt_buf);
+
+  std::ofstream out(path_, std::ios::binary);
+  auto le32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    out.write(b, 4);
+  };
+  auto le16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+    out.write(b, 2);
+  };
+  le32(kPcapMagicMicros);
+  le16(2);
+  le16(4);
+  le32(0);
+  le32(0);
+  le32(65535);
+  le32(kLinktypeRaw);
+  le32(500);      // seconds
+  le32(250'000);  // microseconds
+  le32(static_cast<std::uint32_t>(pkt_len));
+  le32(static_cast<std::uint32_t>(pkt_len));
+  out.write(reinterpret_cast<const char*>(pkt_buf.data()),
+            static_cast<std::streamsize>(pkt_len));
+  out.close();
+
+  const Trace fast = read_pcap_fast(path_);
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast.epoch_unix_s(), 500);
+  EXPECT_EQ(fast[0].ts, 250 * kMillisecond);
+  expect_traces_equal(read_pcap(path_), fast);
+}
+
+TEST_F(PcapMmapTest, MatchesStreamingReaderOnBigEndianEthernet) {
+  const auto pkt = sample_packet(61, 8);
+  std::array<std::byte, kMaxHeaderBytes> pkt_buf{};
+  const auto pkt_len = serialize_packet(pkt, pkt_buf);
+
+  std::ofstream out(path_, std::ios::binary);
+  auto be32 = [&](std::uint32_t v) {
+    char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                 static_cast<char>(v >> 8), static_cast<char>(v)};
+    out.write(b, 4);
+  };
+  auto be16 = [&](std::uint16_t v) {
+    char b[2] = {static_cast<char>(v >> 8), static_cast<char>(v)};
+    out.write(b, 2);
+  };
+  be32(kPcapMagicNanos);
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(65535);
+  be32(kLinktypeEthernet);
+
+  auto write_frame = [&](std::uint16_t ethertype, bool include_payload) {
+    const std::uint32_t frame_len =
+        14 + (include_payload ? static_cast<std::uint32_t>(pkt_len) : 4);
+    be32(7);
+    be32(0);
+    be32(frame_len);
+    be32(frame_len);
+    char eth[14] = {};
+    eth[12] = static_cast<char>(ethertype >> 8);
+    eth[13] = static_cast<char>(ethertype & 0xff);
+    out.write(eth, 14);
+    if (include_payload) {
+      out.write(reinterpret_cast<const char*>(pkt_buf.data()),
+                static_cast<std::streamsize>(pkt_len));
+    } else {
+      char junk[4] = {1, 2, 3, 4};
+      out.write(junk, 4);
+    }
+  };
+  write_frame(0x0806, false);  // ARP: skipped
+  write_frame(0x0800, true);   // IPv4: kept
+  out.close();
+
+  telemetry::Registry reg_slow;
+  telemetry::Registry reg_fast;
+  const Trace slow = read_pcap(path_, &reg_slow);
+  const Trace fast = read_pcap_fast(path_, &reg_fast);
+  expect_traces_equal(slow, fast);
+  ASSERT_EQ(fast.size(), 1u);
+  const auto parsed = parse_packet(fast[0].bytes());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, pkt);
+  // Skip counters must agree as well.
+  EXPECT_EQ(telemetry::get_counter(&reg_fast,
+                                   "rloop_pcap_records_skipped_total",
+                                   {{"reason", "non_ipv4"}}, "")
+                ->value(),
+            telemetry::get_counter(&reg_slow,
+                                   "rloop_pcap_records_skipped_total",
+                                   {{"reason", "non_ipv4"}}, "")
+                ->value());
+}
+
+TEST_F(PcapMmapTest, CountsTruncatedRecordLikeStreamingReader) {
+  Trace trace("rt", 0);
+  trace.add(0, sample_packet(64, 1), 92);
+  trace.add(kMillisecond, sample_packet(62, 2), 92);
+  write_pcap(trace, path_);
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+
+  telemetry::Registry reg_slow;
+  telemetry::Registry reg_fast;
+  const Trace slow = read_pcap(path_, &reg_slow);
+  const Trace fast = read_pcap_fast(path_, &reg_fast);
+  expect_traces_equal(slow, fast);
+  EXPECT_EQ(fast.size(), 1u);
+  EXPECT_EQ(telemetry::get_counter(&reg_fast,
+                                   "rloop_pcap_truncated_records_total", {}, "")
+                ->value(),
+            1u);
+  EXPECT_EQ(telemetry::get_counter(&reg_slow,
+                                   "rloop_pcap_truncated_records_total", {}, "")
+                ->value(),
+            1u);
+}
+
+TEST_F(PcapMmapTest, RejectsBadMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  const char junk[24] = {1, 2, 3};
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_THROW(read_pcap_fast(path_), std::runtime_error);
+}
+
+TEST_F(PcapMmapTest, RejectsTruncatedFileHeader) {
+  std::ofstream out(path_, std::ios::binary);
+  const char junk[10] = {};
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_THROW(read_pcap_fast(path_), std::runtime_error);
+
+  // Empty file: same contract.
+  std::ofstream(path_, std::ios::binary | std::ios::trunc).close();
+  EXPECT_THROW(read_pcap_fast(path_), std::runtime_error);
+}
+
+TEST_F(PcapMmapTest, RejectsMissingFile) {
+  EXPECT_THROW(read_pcap_fast("/nonexistent/dir/file.pcap"),
+               std::runtime_error);
+}
+
+TEST_F(PcapMmapTest, BufferParserRejectsImplausibleRecordLength) {
+  std::vector<std::byte> buf(64);  // file header (24) + record header (16)
+  std::size_t n = 0;
+  auto le32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf[n++] = std::byte(v >> (8 * i));
+  };
+  auto le16 = [&](std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf[n++] = std::byte(v >> (8 * i));
+  };
+  le32(kPcapMagicNanos);
+  le16(2);
+  le16(4);
+  le32(0);
+  le32(0);
+  le32(65535);
+  le32(kLinktypeRaw);
+  le32(0);
+  le32(0);
+  le32((1u << 20) + 1);  // cap_len beyond the sanity bound
+  le32(64);
+  EXPECT_THROW(
+      parse_pcap_buffer(std::span<const std::byte>(buf.data(), n), "buf"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rloop::net
