@@ -35,6 +35,7 @@
 
 #include "common.h"
 #include "core/loop_detector.h"
+#include "daemon/daemon.h"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -95,6 +96,38 @@ Measurement measure(const rloop::net::Trace& trace,
         n;
     if (ns < best.ns_per_packet) best.ns_per_packet = ns;
     best.allocs_per_packet = static_cast<double>(allocs) / n;
+  }
+  return best;
+}
+
+// Best-of-N end-to-end daemon ns/packet over `trace`. `threads` is 1
+// (inline: source drained on the calling thread) or 2 (ring mode: producer
+// thread + detection thread over the lock-free SPSC ring, block policy so
+// nothing drops and every packet is measured).
+double measure_daemon(const rloop::net::Trace& trace, int threads,
+                      int repetitions) {
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    rloop::daemon::DaemonConfig config;
+    config.use_ring = threads == 2;
+    config.back_pressure = rloop::daemon::BackPressure::block;
+    rloop::daemon::Daemon d(
+        config,
+        std::make_unique<rloop::daemon::ReplaySource>(&trace, "bench", 0),
+        nullptr);
+    const auto t0 = Clock::now();
+    const auto stats = d.run();
+    const auto t1 = Clock::now();
+    if (stats.consumed != trace.size() || !stats.invariant_ok()) {
+      std::cerr << "bench_to_json: daemon lost records\n";
+      std::exit(2);
+    }
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(trace.size());
+    if (ns < best) best = ns;
   }
   return best;
 }
@@ -169,6 +202,9 @@ int main(int argc, char** argv) {
   parallel_config.parallel.shard_bits = 4;
   const auto parallel = measure(trace, parallel_config, repetitions);
 
+  const double daemon1 = measure_daemon(trace, 1, repetitions);
+  const double daemon2 = measure_daemon(trace, 2, repetitions);
+
   std::ostringstream json;
   json << "{\n"
        << "  \"trace_records\": " << trace.size() << ",\n"
@@ -179,6 +215,8 @@ int main(int argc, char** argv) {
        << "  \"parallel4_ns_per_packet\": " << parallel.ns_per_packet << ",\n"
        << "  \"parallel4_allocs_per_packet\": " << parallel.allocs_per_packet
        << ",\n"
+       << "  \"daemon1_ns_per_packet\": " << daemon1 << ",\n"
+       << "  \"daemon2_ns_per_packet\": " << daemon2 << ",\n"
        << "  \"peak_rss_kb\": " << peak_rss_kb() << "\n"
        << "}\n";
 
@@ -213,5 +251,11 @@ int main(int argc, char** argv) {
   ok &= check_regression("serial_allocs_per_packet",
                          json_number(baseline, "serial_allocs_per_packet"),
                          serial.allocs_per_packet, tolerance);
+  ok &= check_regression("daemon1_ns_per_packet",
+                         json_number(baseline, "daemon1_ns_per_packet"),
+                         daemon1, tolerance);
+  ok &= check_regression("daemon2_ns_per_packet",
+                         json_number(baseline, "daemon2_ns_per_packet"),
+                         daemon2, tolerance);
   return ok ? 0 : 1;
 }

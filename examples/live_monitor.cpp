@@ -1,9 +1,14 @@
 // live_monitor: online loop alarms from a packet stream.
 //
 // Replays a pcap file (or, with no argument, a freshly simulated Backbone 1
-// trace) through the StreamingDetector and prints an alert line the moment
-// any destination /24 accumulates a replica stream — the way an operator
-// console would surface a loop while it is still happening.
+// trace) through the daemon library and prints an alert line the moment any
+// destination /24 accumulates a replica stream — the way an operator console
+// would surface a loop while it is still happening.
+//
+// This is a thin wrapper over daemon::Daemon run in inline mode (no ring, no
+// producer thread): there is exactly one streaming ingest path in the repo,
+// and it lives in src/daemon/. For the full always-on service — ring ingest,
+// back-pressure, budget eviction, signal lifecycle — use `rloopd`.
 //
 // With --stats <seconds>, a telemetry registry is attached and a periodic
 // Prometheus-text snapshot (alert counter, hold-down suppressions, live
@@ -17,12 +22,7 @@
 #include <memory>
 #include <string>
 
-#include "core/streaming_detector.h"
-#include "net/pcap_mmap.h"
-#include "net/time.h"
-#include "scenarios/backbone.h"
-#include "telemetry/exporter.h"
-#include "telemetry/registry.h"
+#include "daemon/daemon.h"
 
 using namespace rloop;
 
@@ -50,28 +50,31 @@ int main(int argc, char** argv) {
   telemetry::Registry registry;
   telemetry::Registry* reg = stats_interval_s > 0 ? &registry : nullptr;
 
-  net::Trace trace;
-  if (pcap_path) {
-    std::printf("reading %s ...\n", pcap_path);
-    try {
-      trace = net::read_pcap_fast(pcap_path, reg);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
-    }
-  } else {
-    std::printf("no capture given; simulating Backbone 1 ...\n");
-    auto run = scenarios::run_backbone(1);
-    trace = run->trace();
-  }
-  std::printf("%zu packets, %.1f s of traffic on '%s'\n\n", trace.size(),
-              net::to_seconds(trace.duration()), trace.link_name().c_str());
+  daemon::DaemonConfig config;
+  config.use_ring = false;  // single-threaded replay, deterministic output
+  config.streaming = core::StreamingConfig{};  // keep the classic thresholds
+  config.streaming.alert_holddown = 30 * net::kSecond;
+  config.stats_interval = net::from_seconds(stats_interval_s);
 
-  core::StreamingConfig config;
-  config.alert_holddown = 30 * net::kSecond;
+  std::unique_ptr<daemon::PacketSource> source;
+  try {
+    if (pcap_path) {
+      std::printf("reading %s ...\n", pcap_path);
+      source = daemon::make_pcap_source(pcap_path, /*speed=*/0, reg);
+    } else {
+      std::printf("no capture given; simulating Backbone 1 ...\n");
+      source = daemon::make_sim_source(1, /*speed=*/0, reg);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%zu packets from '%s'\n\n", source->expected_packets(),
+              source->name().c_str());
+
   std::uint64_t alert_count = 0;
-  core::StreamingDetector detector(
-      config,
+  daemon::Daemon d(
+      std::move(config), std::move(source),
       [&alert_count](const core::LoopAlert& alert) {
         ++alert_count;
         std::printf(
@@ -82,27 +85,18 @@ int main(int argc, char** argv) {
             net::to_millis(alert.raised_at - alert.first_seen));
       },
       reg);
-
-  telemetry::PeriodicExporter exporter(
-      &registry,
-      static_cast<net::TimeNs>(stats_interval_s * net::kSecond),
-      telemetry::PeriodicExporter::Format::prometheus,
-      [](const std::string& text) {
-        std::printf("--- stats snapshot ---\n%s\n", text.c_str());
-      });
-
-  for (const auto& rec : trace.records()) {
-    detector.on_packet(rec.ts, rec.bytes());
-    if (reg) exporter.pump(rec.ts);
+  if (reg) {
+    d.set_stats_sink([](const std::string& text) {
+      std::printf("--- stats snapshot ---\n%s\n", text.c_str());
+    });
   }
-  if (reg && !trace.records().empty()) {
-    std::printf("--- final stats ---\n");
-    exporter.flush(trace.records().back().ts);
-  }
+
+  // run() flushes a final stats snapshot through the sink on completion.
+  const daemon::DaemonStats stats = d.run();
 
   std::printf("\n%llu packets scanned, %llu alerts, %zu entries resident\n",
-              static_cast<unsigned long long>(detector.packets_seen()),
+              static_cast<unsigned long long>(stats.consumed),
               static_cast<unsigned long long>(alert_count),
-              detector.open_entries());
+              stats.open_entries);
   return 0;
 }

@@ -1,0 +1,244 @@
+// rloopd: the always-on loop-detection daemon.
+//
+// Pulls packets from a source (pcap replay or the built-in backbone
+// simulator), pushes them through a lock-free SPSC ring into the streaming
+// detector, and prints an alert line the moment any destination /24
+// accumulates a replica stream. Built for unattended operation: bounded
+// memory (entry budget + watermark eviction), explicit back-pressure with
+// exact drop accounting, periodic Prometheus/JSON stats, and signal-driven
+// lifecycle (SIGINT/SIGTERM drain, SIGHUP reload). See DESIGN.md "Daemon
+// architecture" and the README ops guide.
+//
+// Usage:
+//   rloopd [--source pcap|sim] [--pcap <file>] [--sim <k>] [--speed <x|max>]
+//          [--ring <pow2-slots>] [--batch <n>] [--policy block|drop-newest]
+//          [--budget <entries>] [--reorder-tolerance-ms <ms>]
+//          [--stats <seconds>] [--stats-format prom|json]
+//          [--stats-out <file|->] [--alerts-out <file>]
+//          [--config <file>] [--journal-out <file>] [--no-ring] [--quiet]
+//
+// Signals:
+//   SIGINT/SIGTERM  stop the source, drain the ring, dump final stats, exit 0
+//   SIGHUP          re-read --config and apply reloadable keys live
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "daemon/daemon.h"
+#include "telemetry/decision_log.h"
+#include "telemetry/exporter.h"
+
+using namespace rloop;
+
+namespace {
+
+daemon::Daemon* g_daemon = nullptr;
+// Set even when the signal lands before the Daemon exists (e.g. while the
+// simulator source is still being built) so the stop is not lost.
+volatile std::sig_atomic_t g_stop_flag = 0;
+
+extern "C" void handle_stop(int) {
+  g_stop_flag = 1;
+  if (g_daemon) g_daemon->request_stop();
+}
+extern "C" void handle_reload(int) {
+  if (g_daemon) g_daemon->request_reload();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rloopd [--source pcap|sim] [--pcap <file>] [--sim <k>]\n"
+      "              [--speed <x|max>] [--ring <pow2>] [--batch <n>]\n"
+      "              [--policy block|drop-newest] [--budget <entries>]\n"
+      "              [--reorder-tolerance-ms <ms>] [--stats <seconds>]\n"
+      "              [--stats-format prom|json] [--stats-out <file|->]\n"
+      "              [--alerts-out <file>] [--config <file>]\n"
+      "              [--journal-out <file>] [--no-ring] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = "sim";
+  std::string pcap_path;
+  int sim_k = 1;
+  double speed = 0;  // "max": replay as fast as the consumer can take it
+  bool quiet = false;
+  std::string journal_out;
+  daemon::DaemonConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--source" && (v = value())) {
+      source = v;
+      if (source != "pcap" && source != "sim") return usage();
+    } else if (arg == "--pcap" && (v = value())) {
+      pcap_path = v;
+      source = "pcap";
+    } else if (arg == "--sim" && (v = value())) {
+      sim_k = std::atoi(v);
+    } else if (arg == "--speed" && (v = value())) {
+      speed = std::strcmp(v, "max") == 0 ? 0 : std::atof(v);
+    } else if (arg == "--ring" && (v = value())) {
+      config.ring_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--batch" && (v = value())) {
+      config.batch_size = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--policy" && (v = value())) {
+      if (std::strcmp(v, "block") == 0) {
+        config.back_pressure = daemon::BackPressure::block;
+      } else if (std::strcmp(v, "drop-newest") == 0) {
+        config.back_pressure = daemon::BackPressure::drop_newest;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--budget" && (v = value())) {
+      config.streaming.max_open_entries =
+          static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--reorder-tolerance-ms" && (v = value())) {
+      config.streaming.reorder_tolerance_ns = net::from_millis(std::atof(v));
+    } else if (arg == "--stats" && (v = value())) {
+      config.stats_interval = net::from_seconds(std::atof(v));
+    } else if (arg == "--stats-format" && (v = value())) {
+      if (std::strcmp(v, "json") == 0) {
+        config.stats_format = daemon::StatsFormat::json;
+      } else if (std::strcmp(v, "prom") == 0) {
+        config.stats_format = daemon::StatsFormat::prometheus;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--stats-out" && (v = value())) {
+      config.stats_out = v;
+    } else if (arg == "--alerts-out" && (v = value())) {
+      config.alerts_out = v;
+    } else if (arg == "--config" && (v = value())) {
+      config.config_file = v;
+    } else if (arg == "--journal-out" && (v = value())) {
+      journal_out = v;
+    } else if (arg == "--no-ring") {
+      config.use_ring = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (source == "pcap" && pcap_path.empty()) {
+    std::fprintf(stderr, "error: --source pcap requires --pcap <file>\n");
+    return 2;
+  }
+  if (!config.config_file.empty()) {
+    std::string error;
+    if (!daemon::apply_config_file(config.config_file, config, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  // Install handlers before the (possibly slow) source construction so an
+  // early SIGINT/SIGTERM still produces a clean exit instead of the default
+  // disposition.
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGHUP, handle_reload);
+
+  telemetry::Registry registry;
+  telemetry::DecisionLog journal;
+  telemetry::DecisionLog* journal_ptr =
+      journal_out.empty() ? nullptr : &journal;
+
+  std::unique_ptr<daemon::PacketSource> packets;
+  try {
+    packets = source == "pcap"
+                  ? daemon::make_pcap_source(pcap_path, speed, &registry)
+                  : daemon::make_sim_source(sim_k, speed, &registry);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::ofstream alerts_file;
+  if (!config.alerts_out.empty()) {
+    alerts_file.open(config.alerts_out);
+    if (!alerts_file.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   config.alerts_out.c_str());
+      return 1;
+    }
+  }
+
+  daemon::Daemon d(
+      std::move(config), std::move(packets),
+      [&](const core::LoopAlert& alert) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "[%9.3fs] LOOP suspected on %-18s ttl_delta=%d "
+                      "replicas=%llu (stream began %.1f ms earlier)",
+                      net::to_seconds(alert.raised_at),
+                      alert.prefix24.to_string().c_str(), alert.ttl_delta,
+                      static_cast<unsigned long long>(alert.replicas),
+                      net::to_millis(alert.raised_at - alert.first_seen));
+        if (!quiet) std::printf("%s\n", line);
+        if (alerts_file.is_open()) alerts_file << line << "\n";
+      },
+      &registry, journal_ptr);
+  d.set_stats_sink([](const std::string& text) {
+    std::printf("--- stats ---\n%s\n", text.c_str());
+    std::fflush(stdout);
+  });
+
+  g_daemon = &d;
+  if (g_stop_flag) d.request_stop();
+
+  const daemon::DaemonStats stats = d.run();
+  g_daemon = nullptr;
+
+  if (!quiet) {
+    std::printf(
+        "\n%llu pushed, %llu consumed, %llu dropped (invariant %s), "
+        "%llu alerts, %llu evicted, peak %zu entries\n",
+        static_cast<unsigned long long>(stats.pushed),
+        static_cast<unsigned long long>(stats.consumed),
+        static_cast<unsigned long long>(stats.dropped),
+        stats.invariant_ok() ? "ok" : "VIOLATED",
+        static_cast<unsigned long long>(stats.alerts),
+        static_cast<unsigned long long>(stats.evicted),
+        stats.peak_open_entries);
+  }
+
+  const daemon::DaemonConfig& final_config = d.config();
+  if (!final_config.stats_out.empty()) {
+    const std::string json =
+        stats.to_json(telemetry::to_json(registry.snapshot()));
+    if (final_config.stats_out == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(final_config.stats_out);
+      if (!out.good()) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     final_config.stats_out.c_str());
+        return 1;
+      }
+      out << json << "\n";
+    }
+  }
+  if (journal_ptr) {
+    std::ofstream out(journal_out);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", journal_out.c_str());
+      return 1;
+    }
+    out << journal.dump();
+  }
+
+  return stats.invariant_ok() ? 0 : 3;
+}

@@ -1,6 +1,7 @@
 #include "core/streaming_detector.h"
 
-#include <stdexcept>
+#include <algorithm>
+#include <vector>
 
 #include "net/packet.h"
 
@@ -25,6 +26,15 @@ StreamingDetector::StreamingDetector(StreamingConfig config,
       m_suppressed_(telemetry::get_counter(
           registry, "rloop_streaming_holddown_suppressed_total", {},
           "Alerts suppressed by the per-prefix hold-down")),
+      m_reordered_(telemetry::get_counter(
+          registry, "rloop_streaming_reordered_total", {},
+          "Out-of-order packets clamped to the newest seen timestamp")),
+      m_reorder_dropped_(telemetry::get_counter(
+          registry, "rloop_streaming_reorder_dropped_total", {},
+          "Packets beyond the reorder tolerance, dropped unprocessed")),
+      m_evicted_(telemetry::get_counter(
+          registry, "rloop_streaming_evicted_total", {},
+          "Entries evicted by the max_open_entries budget")),
       m_open_entries_(telemetry::get_gauge(
           registry, "rloop_streaming_open_entries", {},
           "Replica-candidate entries currently tracked; a surge here is "
@@ -48,14 +58,63 @@ void StreamingDetector::sweep(net::TimeNs now) {
   telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
 }
 
+// Hard-budget eviction (the bounded-memory guarantee the daemon relies on).
+// Runs only when an insert would cross max_open_entries: entries idle past
+// stream_timeout can never extend a stream and go first; if that is not
+// enough, an LRU-ish partition by last-touch evicts the oldest entries down
+// to ~7/8 of the budget, so evictions happen in batches instead of on every
+// packet at the boundary.
+void StreamingDetector::enforce_budget(net::TimeNs now) {
+  const std::size_t before = open_.size();
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now - it->second.last_ts > config_.stream_timeout) {
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const std::size_t target =
+      config_.max_open_entries -
+      std::max<std::size_t>(1, config_.max_open_entries / 8);
+  if (open_.size() > target) {
+    std::vector<net::TimeNs> touched;
+    touched.reserve(open_.size());
+    for (const auto& [key, entry] : open_) touched.push_back(entry.last_ts);
+    // The k-th oldest last-touch is the eviction cutoff.
+    const std::size_t k = open_.size() - target;
+    std::nth_element(touched.begin(), touched.begin() + (k - 1),
+                     touched.end());
+    const net::TimeNs cutoff = touched[k - 1];
+    for (auto it = open_.begin(); it != open_.end() && open_.size() > target;) {
+      if (it->second.last_ts <= cutoff) {
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const std::uint64_t evicted = before - open_.size();
+  evicted_ += evicted;
+  telemetry::inc(m_evicted_, evicted);
+  telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
+}
+
 void StreamingDetector::on_packet(net::TimeNs ts,
                                   std::span<const std::byte> bytes) {
-  if (packets_seen_ > 0 && ts < last_ts_) {
-    throw std::invalid_argument("StreamingDetector: time went backwards");
-  }
-  last_ts_ = ts;
   ++packets_seen_;
   telemetry::inc(m_packets_);
+  if (packets_seen_ > 1 && ts < last_ts_) {
+    // Capture jitter: clamp small regressions into the stream, drop the rest.
+    if (last_ts_ - ts > config_.reorder_tolerance_ns) {
+      ++reorder_dropped_;
+      telemetry::inc(m_reorder_dropped_);
+      return;
+    }
+    ts = last_ts_;
+    ++reordered_;
+    telemetry::inc(m_reordered_);
+  }
+  last_ts_ = ts;
 
   if (++since_sweep_ >= (1u << 15)) {
     since_sweep_ = 0;
@@ -69,7 +128,12 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   }
   ReplicaKey key = make_replica_key(bytes);
 
+  if (config_.max_open_entries > 0 &&
+      open_.size() >= config_.max_open_entries && !open_.contains(key)) {
+    enforce_budget(ts);
+  }
   auto [it, inserted] = open_.try_emplace(std::move(key));
+  peak_open_ = std::max(peak_open_, open_.size());
   telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
   OpenEntry& entry = it->second;
   if (inserted || ts - entry.last_ts > config_.stream_timeout) {

@@ -41,6 +41,18 @@ struct StreamingConfig {
   std::size_t min_replicas = 3;
   // At most one alert per prefix per hold-down interval.
   net::TimeNs alert_holddown = net::kMinute;
+  // Out-of-order tolerance for live-capture jitter. A packet whose timestamp
+  // is behind the stream by at most this much is clamped to the newest seen
+  // timestamp and processed (rloop_streaming_reordered_total); one further
+  // behind is dropped (rloop_streaming_reorder_dropped_total). on_packet
+  // never throws on a timestamp regression.
+  net::TimeNs reorder_tolerance_ns = 0;
+  // Hard budget on tracked replica-candidate entries (0 = unbounded). When
+  // an insert would exceed it, entries idle past stream_timeout go first,
+  // then the oldest-touched entries, down to ~7/8 of the budget
+  // (rloop_streaming_evicted_total) — so millions of distinct /24s fit a
+  // fixed RSS at the cost of possibly restarting a starved stream's count.
+  std::size_t max_open_entries = 0;
 };
 
 class StreamingDetector {
@@ -55,14 +67,27 @@ class StreamingDetector {
                     telemetry::Registry* registry = nullptr,
                     telemetry::DecisionLog* journal = nullptr);
 
-  // Feed one captured packet (bytes start at the IP header). Timestamps must
-  // be non-decreasing; throws std::invalid_argument otherwise.
+  // Feed one captured packet (bytes start at the IP header). Timestamps may
+  // regress by up to reorder_tolerance_ns (clamped) — never throws.
   void on_packet(net::TimeNs ts, std::span<const std::byte> bytes);
+
+  // Replaces the tunable thresholds (reload path for a long-running daemon).
+  // Takes effect for subsequent packets; tracked state is kept.
+  void update_config(const StreamingConfig& config) { config_ = config; }
+  const StreamingConfig& config() const { return config_; }
 
   std::uint64_t packets_seen() const { return packets_seen_; }
   std::uint64_t alerts_raised() const { return alerts_raised_; }
+  // Out-of-order packets clamped into the stream / dropped as too late.
+  std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t reorder_dropped() const { return reorder_dropped_; }
+  // Entries evicted by the max_open_entries budget (not by normal timeout).
+  std::uint64_t evicted() const { return evicted_; }
   // Open replica-candidate entries currently tracked (for memory tests).
   std::size_t open_entries() const { return open_.size(); }
+  // High-water mark of open_entries() over the detector's lifetime; with a
+  // budget configured this never exceeds max_open_entries.
+  std::size_t peak_open_entries() const { return peak_open_; }
 
  private:
   struct OpenEntry {
@@ -75,6 +100,7 @@ class StreamingDetector {
   };
 
   void sweep(net::TimeNs now);
+  void enforce_budget(net::TimeNs now);
 
   StreamingConfig config_;
   AlertCallback on_alert_;
@@ -83,12 +109,19 @@ class StreamingDetector {
   telemetry::Counter* m_parse_failures_ = nullptr;
   telemetry::Counter* m_alerts_ = nullptr;
   telemetry::Counter* m_suppressed_ = nullptr;
+  telemetry::Counter* m_reordered_ = nullptr;
+  telemetry::Counter* m_reorder_dropped_ = nullptr;
+  telemetry::Counter* m_evicted_ = nullptr;
   telemetry::Gauge* m_open_entries_ = nullptr;
   std::unordered_map<ReplicaKey, OpenEntry, ReplicaKeyHash> open_;
   std::unordered_map<net::Prefix, net::TimeNs> last_alert_;
   net::TimeNs last_ts_ = 0;
   std::uint64_t packets_seen_ = 0;
   std::uint64_t alerts_raised_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t reorder_dropped_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::size_t peak_open_ = 0;
   std::uint32_t since_sweep_ = 0;
 };
 

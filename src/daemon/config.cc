@@ -1,0 +1,100 @@
+#include "daemon/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace rloop::daemon {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+bool apply_config_file(const std::string& path, DaemonConfig& config,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error) *error = "cannot read config file: " + path;
+    return false;
+  }
+  DaemonConfig staged = config;  // all-or-nothing application
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      if (error) {
+        *error = path + ":" + std::to_string(lineno) + ": expected key=value";
+      }
+      return false;
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    std::uint64_t u = 0;
+    double d = 0;
+    bool ok = true;
+    if (key == "max_open_entries") {
+      ok = parse_u64(value, u);
+      if (ok) staged.streaming.max_open_entries = u;
+    } else if (key == "reorder_tolerance_ms") {
+      ok = parse_double(value, d);
+      if (ok) staged.streaming.reorder_tolerance_ns = net::from_millis(d);
+    } else if (key == "min_replicas") {
+      ok = parse_u64(value, u) && u >= 2;
+      if (ok) staged.streaming.min_replicas = u;
+    } else if (key == "min_ttl_delta") {
+      ok = parse_u64(value, u) && u >= 1;
+      if (ok) staged.streaming.min_ttl_delta = static_cast<int>(u);
+    } else if (key == "stream_timeout_s") {
+      ok = parse_double(value, d) && d > 0;
+      if (ok) staged.streaming.stream_timeout = net::from_seconds(d);
+    } else if (key == "alert_holddown_s") {
+      ok = parse_double(value, d) && d >= 0;
+      if (ok) staged.streaming.alert_holddown = net::from_seconds(d);
+    } else if (key == "stats_interval_s") {
+      ok = parse_double(value, d) && d >= 0;
+      if (ok) staged.stats_interval = net::from_seconds(d);
+    }
+    // Unknown keys (including structural ones) are ignored on reload.
+    if (!ok) {
+      if (error) {
+        *error = path + ":" + std::to_string(lineno) + ": bad value for '" +
+                 key + "': " + value;
+      }
+      return false;
+    }
+  }
+  config = staged;
+  return true;
+}
+
+}  // namespace rloop::daemon

@@ -1,0 +1,68 @@
+// rloopd configuration: the knobs of the always-on daemon, their CLI
+// spelling, and the subset that can be changed at runtime via SIGHUP.
+//
+// The reload path is deliberately file-based: `--config <file>` names a
+// key=value file that is read once at startup and re-read on SIGHUP, so an
+// operator edits thresholds (entry budget, alert thresholds, reorder
+// tolerance) and signals the running daemon instead of restarting it and
+// losing tracked streams. Structural knobs — ring capacity, batch size,
+// back-pressure policy, source — are fixed for the process lifetime;
+// reload applies only the detection/stats keys and ignores the rest.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/streaming_detector.h"
+#include "net/time.h"
+
+namespace rloop::daemon {
+
+enum class BackPressure {
+  block,        // producer spins until the consumer frees a slot: lossless,
+                // pushes latency (and, live, kernel drops) upstream
+  drop_newest,  // producer counts the record dropped and moves on: bounded
+                // latency, explicit loss (rloop_daemon_ring_dropped_total)
+};
+
+enum class StatsFormat { prometheus, json };
+
+struct DaemonConfig {
+  // --- structural (process lifetime) ---------------------------------------
+  std::size_t ring_capacity = 1 << 16;  // slots; must be a power of two
+  std::size_t batch_size = 256;         // max records drained per epoch
+  BackPressure back_pressure = BackPressure::block;
+  // false: no ring, no producer thread — the source is drained on the
+  // calling thread. The single-threaded oracle for differential tests and
+  // the 1-thread bench point.
+  bool use_ring = true;
+
+  // --- detection (reloadable) ----------------------------------------------
+  core::StreamingConfig streaming = daemon_streaming_defaults();
+
+  // --- stats / output (interval reloadable) --------------------------------
+  net::TimeNs stats_interval = 0;  // 0 = no periodic dump (trace-time driven)
+  StatsFormat stats_format = StatsFormat::prometheus;
+  std::string stats_out;   // final stats JSON path; "" = none, "-" = stdout
+  std::string alerts_out;  // alert lines ("" = none)
+  std::string config_file;  // key=value file re-read on SIGHUP
+
+  // A daemon fed by real capture tolerates jitter and bounds its state by
+  // default; the offline StreamingConfig defaults stay strict.
+  static core::StreamingConfig daemon_streaming_defaults() {
+    core::StreamingConfig cfg;
+    cfg.reorder_tolerance_ns = 100 * net::kMillisecond;
+    cfg.max_open_entries = 1 << 20;  // ~1M tracked candidates, fixed RSS
+    return cfg;
+  }
+};
+
+// Applies `key=value` lines from `path` onto `config` (detection + stats
+// keys only; see config.cc for the key list). Unknown keys and blank/'#'
+// lines are ignored so a config file can carry structural keys for startup
+// tooling. Returns false (with a message in *error) when the file cannot be
+// read or a value fails to parse; config is untouched on failure.
+bool apply_config_file(const std::string& path, DaemonConfig& config,
+                       std::string* error);
+
+}  // namespace rloop::daemon

@@ -1,0 +1,231 @@
+#include "daemon/daemon.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/exporter.h"
+
+namespace rloop::daemon {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Epoch wall-latency buckets: 1 us .. ~4 s.
+std::vector<double> epoch_bounds_ns() {
+  return telemetry::exponential_bounds(1e3, 4.0, 11);
+}
+
+// Batch-size buckets up to a 64Ki-record drain.
+std::vector<double> batch_bounds() {
+  return telemetry::exponential_bounds(1.0, 4.0, 9);
+}
+
+}  // namespace
+
+std::string DaemonStats::to_json(const std::string& metrics_json) const {
+  std::ostringstream out;
+  out << "{\"source\":\"" << json_escape(source) << "\""
+      << ",\"pushed\":" << pushed << ",\"consumed\":" << consumed
+      << ",\"dropped\":" << dropped
+      << ",\"invariant_ok\":" << (invariant_ok() ? "true" : "false")
+      << ",\"epochs\":" << epochs << ",\"reloads\":" << reloads
+      << ",\"alerts\":" << alerts << ",\"reordered\":" << reordered
+      << ",\"reorder_dropped\":" << reorder_dropped
+      << ",\"evicted\":" << evicted << ",\"open_entries\":" << open_entries
+      << ",\"peak_open_entries\":" << peak_open_entries
+      << ",\"last_packet_ts_ns\":" << last_packet_ts;
+  if (!metrics_json.empty()) out << ",\"metrics\":" << metrics_json;
+  out << "}";
+  return out.str();
+}
+
+Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
+               AlertCallback on_alert, telemetry::Registry* registry,
+               telemetry::DecisionLog* journal)
+    : config_(std::move(config)),
+      source_(std::move(source)),
+      registry_(registry),
+      detector_(
+          config_.streaming,
+          [this, cb = std::move(on_alert)](const core::LoopAlert& alert) {
+            ++alerts_;
+            if (cb) cb(alert);
+          },
+          registry, journal),
+      ring_(config_.ring_capacity),
+      m_pushed_(telemetry::get_counter(
+          registry, "rloop_daemon_ring_pushed_total", {},
+          "Records the producer took from the packet source")),
+      m_consumed_(telemetry::get_counter(
+          registry, "rloop_daemon_ring_consumed_total", {},
+          "Records the detection thread drained from the ring")),
+      m_dropped_(telemetry::get_counter(
+          registry, "rloop_daemon_ring_dropped_total", {},
+          "Records discarded by back-pressure (pushed == consumed + "
+          "dropped)")),
+      m_epochs_(telemetry::get_counter(
+          registry, "rloop_daemon_epochs_total", {},
+          "Consumer batches processed")),
+      m_evicted_(telemetry::get_counter(
+          registry, "rloop_daemon_evicted_total", {},
+          "Tracked entries evicted by the daemon's entry budget")),
+      m_reloads_(telemetry::get_counter(
+          registry, "rloop_daemon_config_reloads_total", {},
+          "SIGHUP config reloads applied")),
+      m_ring_occupancy_(telemetry::get_gauge(
+          registry, "rloop_daemon_ring_occupancy", {},
+          "Records resident in the ingest ring at last epoch")),
+      m_epoch_ns_(telemetry::get_histogram(
+          registry, "rloop_daemon_epoch_latency_ns", epoch_bounds_ns(), {},
+          "Wall nanoseconds spent detecting per consumer epoch")),
+      m_batch_size_(telemetry::get_histogram(
+          registry, "rloop_daemon_batch_size", batch_bounds(), {},
+          "Records drained per consumer epoch")) {}
+
+Daemon::~Daemon() = default;
+
+void Daemon::producer_loop() {
+  net::TraceRecord rec;
+  while (!stop_.load(std::memory_order_relaxed) && source_->next(rec)) {
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::inc(m_pushed_);
+    if (ring_.try_push(rec)) continue;
+    if (config_.back_pressure == BackPressure::block) {
+      bool delivered = false;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        if (ring_.try_push(rec)) {
+          delivered = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (delivered) continue;
+    }
+    // drop_newest, or a blocked push abandoned by request_stop().
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::inc(m_dropped_);
+  }
+  producer_done_.store(true, std::memory_order_release);
+}
+
+void Daemon::consume_batch(const net::TraceRecord* batch, std::size_t n) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    detector_.on_packet(batch[i].ts, batch[i].bytes());
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  consumed_.fetch_add(n, std::memory_order_relaxed);
+  telemetry::inc(m_consumed_, n);
+  ++epochs_;
+  telemetry::inc(m_epochs_);
+  last_packet_ts_ = batch[n - 1].ts;
+  telemetry::observe(m_epoch_ns_, static_cast<double>(ns));
+  telemetry::observe(m_batch_size_, static_cast<double>(n));
+  telemetry::set(m_ring_occupancy_,
+                 static_cast<std::int64_t>(ring_.size_approx()));
+  // Surface the detector's budget evictions under the daemon namespace.
+  const std::uint64_t evicted = detector_.evicted();
+  if (evicted > evicted_reported_) {
+    telemetry::inc(m_evicted_, evicted - evicted_reported_);
+    evicted_reported_ = evicted;
+  }
+}
+
+void Daemon::apply_reload() {
+  ++reloads_;
+  telemetry::inc(m_reloads_);
+  if (config_.config_file.empty()) return;
+  std::string error;
+  if (apply_config_file(config_.config_file, config_, &error)) {
+    detector_.update_config(config_.streaming);
+  }
+  // A bad file leaves the running config untouched; the reload counter
+  // still ticks so the operator sees the signal arrived.
+}
+
+DaemonStats Daemon::run() {
+  std::unique_ptr<telemetry::PeriodicExporter> exporter;
+  if (registry_ && config_.stats_interval > 0 && stats_sink_) {
+    exporter = std::make_unique<telemetry::PeriodicExporter>(
+        registry_, config_.stats_interval,
+        config_.stats_format == StatsFormat::json
+            ? telemetry::PeriodicExporter::Format::json
+            : telemetry::PeriodicExporter::Format::prometheus,
+        stats_sink_);
+  }
+
+  std::vector<net::TraceRecord> batch(config_.batch_size);
+  if (config_.use_ring) {
+    std::thread producer([this] { producer_loop(); });
+    for (;;) {
+      std::size_t n = ring_.pop_batch(batch.data(), batch.size());
+      if (n == 0) {
+        if (producer_done_.load(std::memory_order_acquire)) {
+          n = ring_.pop_batch(batch.data(), batch.size());
+          if (n == 0) break;
+        } else {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      consume_batch(batch.data(), n);
+      if (reload_.exchange(false, std::memory_order_relaxed)) apply_reload();
+      if (exporter) exporter->pump(last_packet_ts_);
+    }
+    producer.join();
+  } else {
+    // Inline mode: one thread, no ring — batches are read straight from the
+    // source. Differential oracle and the 1-thread bench point.
+    net::TraceRecord rec;
+    bool more = true;
+    while (more && !stop_.load(std::memory_order_relaxed)) {
+      std::size_t n = 0;
+      while (n < batch.size() && (more = source_->next(rec))) {
+        batch[n++] = rec;
+      }
+      if (n == 0) break;
+      pushed_.fetch_add(n, std::memory_order_relaxed);
+      telemetry::inc(m_pushed_, n);
+      consume_batch(batch.data(), n);
+      if (reload_.exchange(false, std::memory_order_relaxed)) apply_reload();
+      if (exporter) exporter->pump(last_packet_ts_);
+    }
+    producer_done_.store(true, std::memory_order_release);
+  }
+  if (exporter && last_packet_ts_ > 0) exporter->flush(last_packet_ts_);
+  return stats();
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats s;
+  s.source = source_ ? source_->name() : "";
+  s.pushed = pushed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.epochs = epochs_;
+  s.reloads = reloads_;
+  s.alerts = alerts_;
+  s.reordered = detector_.reordered();
+  s.reorder_dropped = detector_.reorder_dropped();
+  s.evicted = detector_.evicted();
+  s.open_entries = detector_.open_entries();
+  s.peak_open_entries = detector_.peak_open_entries();
+  s.last_packet_ts = last_packet_ts_;
+  return s;
+}
+
+}  // namespace rloop::daemon

@@ -1,0 +1,66 @@
+#include "daemon/packet_source.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/pcap_mmap.h"
+#include "scenarios/backbone.h"
+
+namespace rloop::daemon {
+
+namespace {
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ReplaySource::ReplaySource(net::Trace trace, std::string name, double speed)
+    : owned_(std::move(trace)),
+      trace_(&owned_),
+      name_(std::move(name)),
+      speed_(speed) {}
+
+ReplaySource::ReplaySource(const net::Trace* trace, std::string name,
+                           double speed)
+    : trace_(trace), name_(std::move(name)), speed_(speed) {}
+
+bool ReplaySource::next(net::TraceRecord& out) {
+  if (index_ >= trace_->size()) return false;
+  const net::TraceRecord& rec = (*trace_)[index_++];
+  if (speed_ > 0) {
+    if (index_ == 1) {
+      wall_anchor_ns_ = wall_now_ns();
+      trace_anchor_ = rec.ts;
+    } else {
+      const auto elapsed_trace =
+          static_cast<double>(rec.ts - trace_anchor_) / speed_;
+      const std::int64_t due =
+          wall_anchor_ns_ + static_cast<std::int64_t>(elapsed_trace);
+      const std::int64_t now = wall_now_ns();
+      if (due > now) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(due - now));
+      }
+    }
+  }
+  out = rec;
+  return true;
+}
+
+std::unique_ptr<PacketSource> make_pcap_source(const std::string& path,
+                                               double speed,
+                                               telemetry::Registry* registry) {
+  return std::make_unique<ReplaySource>(net::read_pcap_fast(path, registry),
+                                        "pcap:" + path, speed);
+}
+
+std::unique_ptr<PacketSource> make_sim_source(int k, double speed,
+                                              telemetry::Registry* registry) {
+  auto run = scenarios::run_backbone(k, registry);
+  return std::make_unique<ReplaySource>(
+      run->trace(), "sim:" + std::to_string(k), speed);
+}
+
+}  // namespace rloop::daemon

@@ -1,0 +1,76 @@
+// Where the daemon's packets come from.
+//
+// A PacketSource is a pull iterator of timestamped capture records, consumed
+// by the daemon's producer thread. Two adapters cover the repo's inputs:
+//
+//  * PcapReplaySource — a capture file loaded via read_pcap_fast (mmap path
+//    when possible) and replayed at recorded speed, at a time-scaled speed,
+//    or as fast as the consumer can take it (speed <= 0, "max"). Pacing is
+//    done by the *caller* thread sleeping between next() calls, so a paced
+//    replay exercises exactly the burst/lull pattern of the original trace.
+//
+//  * SimulatorSource — one of the four backbone scenarios run on demand, its
+//    tap trace then replayed like a pcap. This is the "live" source for
+//    machines without captures: deterministic traffic with real loops.
+//
+// Both are Trace replays underneath (ReplaySource); a true libpcap live
+// capture would implement the same three-method interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/trace.h"
+#include "telemetry/registry.h"
+
+namespace rloop::daemon {
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  // Fills `out` with the next record; false at end of stream. When pacing
+  // applies, blocks (sleeps) until the record is due.
+  virtual bool next(net::TraceRecord& out) = 0;
+
+  // Human-readable origin for logs and stats ("pcap:foo.pcap", "sim:1").
+  virtual std::string name() const = 0;
+
+  // Records this source will produce in total, 0 when unknown (live).
+  virtual std::size_t expected_packets() const { return 0; }
+};
+
+// Replays an in-memory Trace. speed <= 0 replays as fast as possible;
+// speed 1.0 at recorded pace; speed 10 at 10x the recorded pace. The first
+// next() call anchors trace time to the wall clock.
+class ReplaySource : public PacketSource {
+ public:
+  ReplaySource(net::Trace trace, std::string name, double speed);
+  // Non-owning: `trace` must outlive the source (benchmarks replaying a
+  // shared cached trace without copying it).
+  ReplaySource(const net::Trace* trace, std::string name, double speed);
+
+  bool next(net::TraceRecord& out) override;
+  std::string name() const override { return name_; }
+  std::size_t expected_packets() const override { return trace_->size(); }
+
+ private:
+  net::Trace owned_;
+  const net::Trace* trace_ = nullptr;
+  std::string name_;
+  double speed_;
+  std::size_t index_ = 0;
+  std::int64_t wall_anchor_ns_ = 0;  // wall clock at first record
+  net::TimeNs trace_anchor_ = 0;     // trace ts of first record
+};
+
+// read_pcap_fast + ReplaySource. Throws what the pcap readers throw.
+std::unique_ptr<PacketSource> make_pcap_source(
+    const std::string& path, double speed,
+    telemetry::Registry* registry = nullptr);
+
+// Runs backbone scenario `k` (1..4) and replays its tap trace.
+std::unique_ptr<PacketSource> make_sim_source(
+    int k, double speed, telemetry::Registry* registry = nullptr);
+
+}  // namespace rloop::daemon

@@ -144,14 +144,141 @@ TEST(StreamingDetector, TelemetryCountersMatchCallbacks) {
             harness.detector.open_entries());
 }
 
-TEST(StreamingDetector, RejectsBackwardsTime) {
+// A timestamp regression is capture jitter, not a programming error: with
+// zero tolerance (the default) the late packet is dropped and counted —
+// never thrown. A daemon fed by real capture cannot afford an exception.
+TEST(StreamingDetector, DropsBackwardsTimeInsteadOfThrowing) {
   TraceBuilder builder;
   builder.packet(1000, Ipv4Addr(203, 0, 113, 10), 64, 1);
   Harness harness;
   harness.feed(builder.trace());
   TraceBuilder earlier;
   earlier.packet(500, Ipv4Addr(203, 0, 113, 10), 64, 2);
-  EXPECT_THROW(harness.feed(earlier.trace()), std::invalid_argument);
+  EXPECT_NO_THROW(harness.feed(earlier.trace()));
+  EXPECT_EQ(harness.detector.reorder_dropped(), 1u);
+  EXPECT_EQ(harness.detector.reordered(), 0u);
+  EXPECT_EQ(harness.detector.packets_seen(), 2u);
+}
+
+// Within reorder_tolerance_ns the packet is clamped to the newest seen
+// timestamp and still processed: a jittered replica keeps counting toward
+// the alert threshold.
+TEST(StreamingDetector, ClampsRegressionsWithinTolerance) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(net::kSecond, dst, 60, 7, 3, 2, net::kMillisecond);
+  const auto& records = builder.trace().records();
+  ASSERT_EQ(records.size(), 3u);
+
+  StreamingConfig cfg;
+  cfg.reorder_tolerance_ns = 10 * net::kMillisecond;
+  telemetry::Registry reg;
+  Harness harness(cfg, &reg);
+  // Deliver the third replica 2 ms *behind* the second: inside tolerance.
+  harness.detector.on_packet(records[0].ts, records[0].bytes());
+  harness.detector.on_packet(records[1].ts, records[1].bytes());
+  harness.detector.on_packet(records[1].ts - 2 * net::kMillisecond,
+                             records[2].bytes());
+
+  EXPECT_EQ(harness.detector.reordered(), 1u);
+  EXPECT_EQ(harness.detector.reorder_dropped(), 0u);
+  ASSERT_EQ(harness.alerts.size(), 1u);  // clamped replica crossed threshold
+  // The clamped packet's effective timestamp is the newest seen one.
+  EXPECT_EQ(harness.alerts.front().raised_at, records[1].ts);
+  EXPECT_EQ(reg.counter("rloop_streaming_reordered_total")->value(), 1u);
+  EXPECT_EQ(reg.counter("rloop_streaming_reorder_dropped_total")->value(), 0u);
+}
+
+TEST(StreamingDetector, DropsRegressionsBeyondTolerance) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(net::kSecond, dst, 60, 7, 3, 2, net::kMillisecond);
+  const auto& records = builder.trace().records();
+
+  StreamingConfig cfg;
+  cfg.reorder_tolerance_ns = 10 * net::kMillisecond;
+  telemetry::Registry reg;
+  Harness harness(cfg, &reg);
+  harness.detector.on_packet(records[0].ts, records[0].bytes());
+  harness.detector.on_packet(records[1].ts, records[1].bytes());
+  // 50 ms behind: beyond tolerance, dropped unprocessed.
+  EXPECT_NO_THROW(harness.detector.on_packet(
+      records[1].ts - 50 * net::kMillisecond, records[2].bytes()));
+
+  EXPECT_EQ(harness.detector.reorder_dropped(), 1u);
+  EXPECT_TRUE(harness.alerts.empty());  // the dropped replica never counted
+  EXPECT_EQ(harness.detector.packets_seen(), 3u);
+  EXPECT_EQ(reg.counter("rloop_streaming_reorder_dropped_total")->value(),
+            1u);
+}
+
+// The hard entry budget: peak resident entries never exceed
+// max_open_entries no matter how many distinct packets flood in.
+TEST(StreamingDetector, EntryBudgetCapsResidentEntries) {
+  StreamingConfig cfg;
+  cfg.max_open_entries = 1000;
+  telemetry::Registry reg;
+  Harness harness(cfg, &reg);
+
+  TraceBuilder builder;
+  net::TimeNs t = 0;
+  std::uint16_t id = 0;
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    builder = TraceBuilder();
+    for (int i = 0; i < 10'000; ++i) {
+      // Distinct dst + distinct id: every packet opens a fresh entry.
+      builder.packet(t, Ipv4Addr(10, static_cast<std::uint8_t>(i >> 8),
+                                 static_cast<std::uint8_t>(i), 1),
+                     64, id++);
+      t += net::kMicrosecond;
+    }
+    harness.feed(builder.trace());
+  }
+
+  EXPECT_LE(harness.detector.peak_open_entries(), 1000u);
+  EXPECT_LE(harness.detector.open_entries(), 1000u);
+  EXPECT_GT(harness.detector.evicted(), 0u);
+  EXPECT_EQ(reg.counter("rloop_streaming_evicted_total")->value(),
+            harness.detector.evicted());
+}
+
+// LRU-ish eviction keeps recently-touched entries: a replica stream that is
+// actively counting survives budget churn from a flood of one-shot entries
+// and still alerts.
+TEST(StreamingDetector, ActiveStreamSurvivesBudgetChurn) {
+  StreamingConfig cfg;
+  cfg.max_open_entries = 500;
+  Harness harness(cfg);
+
+  TraceBuilder stream_builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  stream_builder.replica_stream(0, dst, 60, 7, 10, 2, net::kMillisecond);
+  const auto& replicas = stream_builder.trace().records();
+
+  TraceBuilder noise_builder;
+  net::TimeNs t = 0;
+  std::uint16_t id = 1000;
+  for (int i = 0; i < 5'000; ++i) {
+    noise_builder.packet(t, Ipv4Addr(10, static_cast<std::uint8_t>(i >> 8),
+                                     static_cast<std::uint8_t>(i), 1),
+                         64, id++);
+    t += net::kMicrosecond;
+  }
+  const auto& noise = noise_builder.trace().records();
+
+  // Interleave: one replica touch every 50 noise packets keeps the stream
+  // entry recent enough to dodge the oldest-1/8 eviction sweeps.
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    if (i % 50 == 0 && r < replicas.size()) {
+      harness.detector.on_packet(noise[i].ts, replicas[r++].bytes());
+    }
+    harness.detector.on_packet(noise[i].ts, noise[i].bytes());
+  }
+
+  EXPECT_GE(harness.alerts.size(), 1u)
+      << "budget churn evicted an actively-counting stream";
+  EXPECT_LE(harness.detector.peak_open_entries(), 500u);
 }
 
 TEST(StreamingDetector, AgreesWithOfflineOnCleanStreams) {
