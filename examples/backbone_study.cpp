@@ -8,6 +8,15 @@
 // results are bit-identical to the default serial path. --trace-out writes
 // every pipeline span (all four runs) as Chrome trace-event JSON, loadable
 // in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Scenario mode (the ground-truth gate harness, also run by CI):
+//   backbone_study --list-scenarios
+//   backbone_study --scenario <name|all> [--seed N] [--json-out <dir>]
+// Runs canned scenarios (scenarios/scenario.h), gates every detector path
+// on 100% recall of tap-detectable loops and the pinned precision floors,
+// checks serial == parallel{2,4} reports and daemon == streaming alerts,
+// prints a summary table, writes per-scenario truth/alert JSON when
+// --json-out is given, and exits non-zero when any gate fails.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,8 +31,10 @@
 #include "core/impact.h"
 #include "core/loop_detector.h"
 #include "core/metrics.h"
+#include "daemon/daemon.h"
 #include "net/pcap.h"
 #include "scenarios/backbone.h"
+#include "scenarios/scenario.h"
 #include "telemetry/trace.h"
 
 using namespace rloop;
@@ -84,11 +95,98 @@ void write_figures(const std::string& dir, int k,
   }
 }
 
+// Feeds the scenario's analysis trace through the full daemon (producer
+// thread -> SPSC ring -> consumer) and returns the alert lines, which must
+// match the in-process streaming path byte for byte.
+std::vector<std::string> daemon_alert_lines(
+    const scenarios::ScenarioRun& run) {
+  daemon::DaemonConfig config;
+  config.streaming = scenarios::scenario_streaming_config(run.spec);
+  std::vector<std::string> lines;
+  daemon::Daemon d(
+      std::move(config),
+      std::make_unique<daemon::ReplaySource>(&run.analysis_trace(),
+                                             "scenario:" + run.spec.name, 0.0),
+      [&](const core::LoopAlert& alert) {
+        lines.push_back(scenarios::render_alert(alert));
+      });
+  const daemon::DaemonStats stats = d.run();
+  if (!stats.invariant_ok() || stats.dropped != 0) {
+    lines.push_back("<daemon accounting violation>");
+  }
+  return lines;
+}
+
+// Returns the number of failing scenarios (process exit code).
+int run_scenario_mode(const std::string& which, std::uint64_t seed_override,
+                      const std::string& json_dir) {
+  std::vector<std::string> names;
+  if (which == "all") {
+    names = scenarios::canned_scenario_names();
+  } else {
+    names.push_back(which);
+  }
+  if (!json_dir.empty()) std::filesystem::create_directories(json_dir);
+
+  analysis::TextTable table({"Scenario", "Truth", "Detectable", "Serial",
+                             "Streaming", "Precision", "Recall", "Gates"});
+  int failing = 0;
+  for (const std::string& name : names) {
+    scenarios::ScenarioSpec spec = scenarios::canned_scenario(name);
+    if (seed_override != 0) spec.seed = seed_override;
+    std::printf("running scenario %s seed=%llu (%s)\n", spec.name.c_str(),
+                static_cast<unsigned long long>(spec.seed),
+                spec.summary.c_str());
+    const auto run = scenarios::run_scenario(spec);
+    auto ev = scenarios::evaluate_scenario(*run);
+
+    const auto* streaming = ev.find("streaming");
+    if (daemon_alert_lines(*run) != streaming->lines) {
+      ev.failures.push_back("daemon alert lines differ from streaming");
+      ev.pass = false;
+    }
+
+    const auto* serial = ev.find("serial");
+    table.add_row({spec.name, std::to_string(serial->score.truth_loops),
+                   std::to_string(serial->score.detectable),
+                   std::to_string(serial->score.reports),
+                   std::to_string(streaming->score.reports),
+                   analysis::format_double(serial->score.precision(), 4),
+                   analysis::format_double(serial->score.recall(), 4),
+                   ev.pass ? "pass" : "FAIL"});
+    for (const std::string& failure : ev.failures) {
+      std::printf("  gate failure: %s\n", failure.c_str());
+    }
+    if (!ev.pass) ++failing;
+
+    if (!json_dir.empty()) {
+      const std::string path = json_dir + "/" + spec.name + ".json";
+      std::ofstream out(path);
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      out << ev.to_json() << "\n";
+    }
+  }
+  std::printf("\nScenario gates (100%% recall of tap-detectable loops, "
+              "pinned precision floors)\n");
+  table.print(std::cout);
+  if (!json_dir.empty()) {
+    std::printf("per-scenario truth/alert JSON written to %s/\n",
+                json_dir.c_str());
+  }
+  return failing;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
   std::string trace_out;
+  std::string scenario;
+  std::string json_dir;
+  std::uint64_t seed_override = 0;
   unsigned num_threads = 0;  // 0 = serial pipeline
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,14 +208,57 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--list-scenarios") {
+      for (const std::string& name : scenarios::canned_scenario_names()) {
+        std::printf("%-26s %s\n", name.c_str(),
+                    scenarios::canned_scenario(name).summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--scenario requires a name (or 'all')\n");
+        return 2;
+      }
+      scenario = argv[++i];
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario = arg.substr(std::string("--scenario=").size());
+    } else if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--seed requires a value\n");
+        return 2;
+      }
+      seed_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed_override =
+          std::strtoull(arg.c_str() + std::string("--seed=").size(), nullptr,
+                        10);
+    } else if (arg == "--json-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json-out requires a directory\n");
+        return 2;
+      }
+      json_dir = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_dir = arg.substr(std::string("--json-out=").size());
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown option %s\nusage: backbone_study [--threads N] "
-                   "[--trace-out spans.json] [output_dir]\n",
+                   "[--trace-out spans.json] [output_dir]\n"
+                   "       backbone_study --list-scenarios\n"
+                   "       backbone_study --scenario <name|all> [--seed N] "
+                   "[--json-out <dir>]\n",
                    arg.c_str());
       return 2;
     } else {
       out_dir = arg;
+    }
+  }
+  if (!scenario.empty()) {
+    try {
+      return run_scenario_mode(scenario, seed_override, json_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
   telemetry::TraceSink trace_sink;

@@ -10,7 +10,8 @@
 // architecture" and the README ops guide.
 //
 // Usage:
-//   rloopd [--source pcap|sim] [--pcap <file>] [--sim <k>] [--speed <x|max>]
+//   rloopd [--source pcap|sim|scenario] [--pcap <file>] [--sim <k>]
+//          [--scenario <name>] [--seed <n>] [--speed <x|max>]
 //          [--ring <pow2-slots>] [--batch <n>] [--policy block|drop-newest]
 //          [--budget <entries>] [--reorder-tolerance-ms <ms>]
 //          [--stats <seconds>] [--stats-format prom|json]
@@ -29,6 +30,7 @@
 #include <string>
 
 #include "daemon/daemon.h"
+#include "scenarios/scenario.h"
 #include "telemetry/decision_log.h"
 #include "telemetry/exporter.h"
 
@@ -52,7 +54,8 @@ extern "C" void handle_reload(int) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: rloopd [--source pcap|sim] [--pcap <file>] [--sim <k>]\n"
+      "usage: rloopd [--source pcap|sim|scenario] [--pcap <file>]\n"
+      "              [--sim <k>] [--scenario <name>] [--seed <n>]\n"
       "              [--speed <x|max>] [--ring <pow2>] [--batch <n>]\n"
       "              [--policy block|drop-newest] [--budget <entries>]\n"
       "              [--reorder-tolerance-ms <ms>] [--stats <seconds>]\n"
@@ -67,6 +70,8 @@ int usage() {
 int main(int argc, char** argv) {
   std::string source = "sim";
   std::string pcap_path;
+  std::string scenario_name = "ddos_burst";
+  std::uint64_t scenario_seed = 0;  // 0 = the scenario's pinned seed
   int sim_k = 1;
   double speed = 0;  // "max": replay as fast as the consumer can take it
   bool quiet = false;
@@ -81,12 +86,19 @@ int main(int argc, char** argv) {
     const char* v = nullptr;
     if (arg == "--source" && (v = value())) {
       source = v;
-      if (source != "pcap" && source != "sim") return usage();
+      if (source != "pcap" && source != "sim" && source != "scenario") {
+        return usage();
+      }
     } else if (arg == "--pcap" && (v = value())) {
       pcap_path = v;
       source = "pcap";
     } else if (arg == "--sim" && (v = value())) {
       sim_k = std::atoi(v);
+    } else if (arg == "--scenario" && (v = value())) {
+      scenario_name = v;
+      source = "scenario";
+    } else if (arg == "--seed" && (v = value())) {
+      scenario_seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--speed" && (v = value())) {
       speed = std::strcmp(v, "max") == 0 ? 0 : std::atof(v);
     } else if (arg == "--ring" && (v = value())) {
@@ -158,9 +170,22 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<daemon::PacketSource> packets;
   try {
-    packets = source == "pcap"
-                  ? daemon::make_pcap_source(pcap_path, speed, &registry)
-                  : daemon::make_sim_source(sim_k, speed, &registry);
+    if (source == "pcap") {
+      packets = daemon::make_pcap_source(pcap_path, speed, &registry);
+    } else if (source == "scenario") {
+      const std::uint64_t seed =
+          scenario_seed != 0
+              ? scenario_seed
+              : scenarios::canned_scenario(scenario_name).seed;
+      if (!quiet) {
+        std::printf("scenario %s seed=%llu\n", scenario_name.c_str(),
+                    static_cast<unsigned long long>(seed));
+      }
+      packets =
+          daemon::make_scenario_source(scenario_name, speed, seed, &registry);
+    } else {
+      packets = daemon::make_sim_source(sim_k, speed, &registry);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,6 +6,7 @@
 
 #include "net/pcap_mmap.h"
 #include "scenarios/backbone.h"
+#include "scenarios/scenario.h"
 
 namespace rloop::daemon {
 
@@ -61,6 +62,16 @@ std::unique_ptr<PacketSource> make_sim_source(int k, double speed,
   auto run = scenarios::run_backbone(k, registry);
   return std::make_unique<ReplaySource>(
       run->trace(), "sim:" + std::to_string(k), speed);
+}
+
+std::unique_ptr<PacketSource> make_scenario_source(
+    const std::string& name, double speed, std::uint64_t seed,
+    telemetry::Registry* registry) {
+  scenarios::ScenarioSpec spec = scenarios::canned_scenario(name);
+  if (seed != 0) spec.seed = seed;
+  auto run = scenarios::run_scenario(spec, registry);
+  return std::make_unique<ReplaySource>(run->analysis_trace(),
+                                        "scenario:" + name, speed);
 }
 
 }  // namespace rloop::daemon

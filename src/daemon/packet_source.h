@@ -73,4 +73,12 @@ std::unique_ptr<PacketSource> make_pcap_source(
 std::unique_ptr<PacketSource> make_sim_source(
     int k, double speed, telemetry::Registry* registry = nullptr);
 
+// Runs the canned scenario `name` (scenarios/scenario.h) and replays its
+// analysis trace — the phase-driven stress workloads as a daemon input.
+// `seed` != 0 overrides the scenario's pinned seed. Throws
+// std::invalid_argument on an unknown name.
+std::unique_ptr<PacketSource> make_scenario_source(
+    const std::string& name, double speed, std::uint64_t seed = 0,
+    telemetry::Registry* registry = nullptr);
+
 }  // namespace rloop::daemon

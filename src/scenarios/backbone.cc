@@ -270,12 +270,15 @@ std::unique_ptr<BackboneRun> build_backbone(const BackboneSpec& spec,
   wl_cfg.start = 0;
   wl_cfg.duration = spec.duration;
   wl_cfg.flows_per_second = spec.flows_per_second;
+  wl_cfg.phases = spec.phases;
   run->workload = std::make_unique<trafficgen::Workload>(
       wl_cfg, run->destinations, run->sources,
       spec.three_mode_ttl ? trafficgen::TtlModel::three_modes()
                           : trafficgen::TtlModel::standard(),
       std::vector<routing::NodeId>{n.i0, n.i1, n.i2});
-  run->workload->install(network, spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  run->workload->install(network, spec.workload_seed != 0
+                                      ? spec.workload_seed
+                                      : spec.seed ^ 0x9e3779b97f4a7c15ULL);
 
   // Failure plan.
   sim::FailurePlanConfig plan_cfg;

@@ -86,6 +86,12 @@ struct BackboneSpec {
   // X->M->Y->X (delta 3, the return leg using the direct link). Backbone 4
   // uses this to reproduce its split 55%/35% TTL-delta distribution.
   bool transit_chain = false;
+  // Workload RNG seed; 0 keeps the legacy derivation (seed ^ golden ratio).
+  // The scenario engine sets it so one user-facing seed threads through
+  // network, workload and failure-plan randomness (util::derive_seed).
+  std::uint64_t workload_seed = 0;
+  // Timed rate/focus phases forwarded to the workload (scenario engine).
+  std::vector<trafficgen::RatePhase> phases;
 };
 
 // Specs for the paper's four traces (k in 1..4). Throws std::invalid_argument

@@ -1,0 +1,225 @@
+// The scenario engine: timed, auto-switching workload phases with
+// ground-truth precision/recall gates.
+//
+// The paper validated its detector on four fixed backbone traces with no
+// ground truth. The simulator gives us what the authors never had — a
+// per-packet log of every tap traversal (sim::Network::tap_crossings) — so
+// every detector path can be *re-proven correct* under hostile workloads,
+// not just the quiet ones. A ScenarioSpec sequences phases (idle / burst /
+// ramp / flap, each with a duration, a rate multiplier and optional failure
+// events) over the trafficgen arrival process and the failure injector;
+// running it yields a ScenarioRun whose analysis trace, effective tap
+// crossings and truth loops feed evaluate_scenario(), which scores the
+// serial, parallel{2,4} and streaming detector paths against the spec's
+// TruthPolicy:
+//
+//   * recall must be 100% over *detectable* truth loops — those where one
+//     packet crossed the tap >= min_crossings (3) times, the paper's own
+//     replica-stream threshold;
+//   * precision must not fall below the spec's pinned floor;
+//   * the serial and parallel offline paths must produce byte-identical
+//     report lines.
+//
+// One seed threads through everything (network control plane, workload,
+// failure schedule — util::derive_seed sub-streams), so every scenario run
+// is bit-reproducible from the `--seed` printed at start.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/comparison.h"
+#include "core/loop_detector.h"
+#include "core/streaming_detector.h"
+#include "scenarios/backbone.h"
+
+namespace rloop::scenarios {
+
+enum class PhaseKind { idle, burst, ramp, flap };
+
+const char* phase_kind_name(PhaseKind kind);
+
+// One timed phase. Phases run back to back in spec order (auto-switching);
+// the scenario duration is the sum of phase durations.
+struct ScenarioPhase {
+  PhaseKind kind = PhaseKind::idle;
+  net::TimeNs duration = 10 * net::kSecond;
+  // Arrival-rate multiplier over the spec's base flows_per_second. For ramp
+  // the rate interpolates linearly from `rate` to `rate_end` across the
+  // phase; for every other kind it is flat at `rate`.
+  double rate = 1.0;
+  double rate_end = 1.0;
+  // Fraction of arrivals redirected at the scenario's focus prefix
+  // (single-prefix DDoS shape); 0 keeps the Zipf draw.
+  double focus_fraction = 0.0;
+  // IGP link flaps drawn uniformly inside this phase window.
+  int flap_events = 0;
+  net::TimeNs flap_outage_mean = 2 * net::kSecond;
+  // E-BGP withdrawals drawn uniformly inside this phase window.
+  int withdraw_events = 0;
+  net::TimeNs withdraw_outage_mean = 20 * net::kSecond;
+};
+
+// What the scenario promises about detector behavior — the per-scenario
+// gate that ctest and the CI scenario-matrix job enforce.
+struct TruthPolicy {
+  // false: a control scenario that must stay silent (zero reports on every
+  // path); recall/precision are then vacuous and asserted as such.
+  bool expect_loops = true;
+  // Pinned precision floors (matched reports / reports), per path family.
+  double precision_floor_offline = 1.0;
+  double precision_floor_streaming = 1.0;
+  // Interval slack when matching reports to truth loops (observation
+  // latency, merge boundaries).
+  net::TimeNs slack = 2 * net::kSecond;
+  // A truth loop is *detectable* when one packet crossed the tap at least
+  // this many times during it — the paper's min_replicas bar.
+  std::uint64_t min_crossings = 3;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string summary;
+  // The single user-facing seed; network, workload and failure randomness
+  // all derive from it (util::derive_seed named sub-streams).
+  std::uint64_t seed = 1;
+  // Base topology/trace parameters (1..4, see backbone_spec).
+  int backbone = 1;
+  double flows_per_second = 70.0;
+  std::vector<ScenarioPhase> phases;
+  // Withdraw the focus prefix's best egress for the span of the first
+  // focused phase (DDoS burst against a flapping prefix).
+  bool focus_withdraw = false;
+  // Operator misconfiguration (persistent loop): at misconfig_at, the far
+  // artery router's FIB entry for one withdrawable prefix is forced back up
+  // the tapped link until misconfig_clear (< 0 = never cleared).
+  bool misconfig = false;
+  net::TimeNs misconfig_at = 0;
+  net::TimeNs misconfig_clear = -1;
+  // Tap both directions of the artery and run a reverse-direction detection
+  // path too (asymmetric routing: a 2-router loop shows up in both
+  // directions; each direction is analyzed on its own because interleaving
+  // them would collapse per-turn TTL deltas to 1).
+  bool bidirectional = false;
+  // Post-capture stress: drop each record with this probability and jitter
+  // its timestamp by up to +-jitter, deterministically from the seed. The
+  // recall gate is computed over the *surviving* crossings.
+  double drop_probability = 0.0;
+  net::TimeNs jitter = 0;
+  TruthPolicy truth;
+
+  net::TimeNs duration() const;
+};
+
+// A fully-executed scenario: the backbone run plus the analysis view the
+// detectors consume (loss/jitter-stressed when requested) and the
+// tap-crossing ground truth aligned with that view.
+struct ScenarioRun {
+  ScenarioSpec spec;
+  std::unique_ptr<BackboneRun> backbone;
+  // Valid only when spec.bidirectional.
+  std::size_t reverse_tap = static_cast<std::size_t>(-1);
+  // Stressed (dropped/jittered) trace; absent when the raw tap trace is
+  // analyzed.
+  std::optional<net::Trace> derived;
+  // Forward-direction tap crossings visible in the analysis view (the
+  // surviving subset when records were dropped).
+  std::vector<sim::LoopCrossing> crossings;
+  // Reverse-direction crossings; non-empty only when spec.bidirectional.
+  std::vector<sim::LoopCrossing> reverse_crossings;
+
+  const net::Trace& analysis_trace() const {
+    return derived ? *derived : backbone->trace();
+  }
+  const net::Trace& reverse_trace() const {
+    return backbone->network->tap_trace(reverse_tap);
+  }
+  // Ground-truth loop intervals (all router revisits, network-wide).
+  std::vector<baseline::TruthLoop> truth() const {
+    return baseline::merge_crossings(backbone->network->loop_crossings());
+  }
+};
+
+// Builds and executes the scenario. `registry` (optional, must outlive the
+// run) instruments the simulated network.
+std::unique_ptr<ScenarioRun> run_scenario(const ScenarioSpec& spec,
+                                          telemetry::Registry* registry =
+                                              nullptr);
+
+// --- canned scenarios ------------------------------------------------------
+// The stock stress suite; every name here runs in ctest and the CI
+// scenario-matrix job. Throws std::invalid_argument on an unknown name.
+const std::vector<std::string>& canned_scenario_names();
+ScenarioSpec canned_scenario(const std::string& name);
+
+// --- scoring ---------------------------------------------------------------
+
+struct ScenarioScore {
+  std::uint64_t truth_loops = 0;   // all ground-truth loop intervals
+  std::uint64_t detectable = 0;    // >= min_crossings by one packet at the tap
+  std::uint64_t detected = 0;      // detectable loops matched by a report
+  std::uint64_t reports = 0;
+  std::uint64_t unmatched_reports = 0;  // matching no truth loop at all
+
+  double recall() const {
+    return detectable == 0 ? 1.0
+                           : static_cast<double>(detected) /
+                                 static_cast<double>(detectable);
+  }
+  double precision() const {
+    return reports == 0 ? 1.0
+                        : static_cast<double>(reports - unmatched_reports) /
+                              static_cast<double>(reports);
+  }
+};
+
+// Canonical one-line renderings; "alert-identical across paths" is a string
+// vector comparison on these.
+std::string render_loop(const core::RoutingLoop& loop);
+std::string render_alert(const core::LoopAlert& alert);
+
+// Scores reports against the run's truth loops; `crossings` decides which
+// truth loops count as detectable (pass run.crossings for the forward view,
+// run.reverse_crossings for the reverse path).
+ScenarioScore score_offline(const ScenarioRun& run,
+                            const std::vector<sim::LoopCrossing>& crossings,
+                            const std::vector<core::RoutingLoop>& loops);
+ScenarioScore score_streaming(const ScenarioRun& run,
+                              const std::vector<sim::LoopCrossing>& crossings,
+                              const std::vector<core::LoopAlert>& alerts);
+
+// The streaming configuration every scenario gate runs under (short
+// hold-down so back-to-back loops on one prefix alert separately).
+core::StreamingConfig scenario_streaming_config(const ScenarioSpec& spec);
+
+// --- evaluation ------------------------------------------------------------
+
+struct PathOutcome {
+  // "serial" | "parallel2" | "parallel4" | "streaming", plus "reverse"
+  // (serial over the reverse-direction trace) when spec.bidirectional.
+  std::string path;
+  ScenarioScore score;
+  std::vector<std::string> lines;  // rendered reports/alerts, canonical order
+};
+
+struct ScenarioEvaluation {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::vector<PathOutcome> paths;
+  bool offline_identical = false;
+  bool pass = false;
+  std::vector<std::string> failures;  // human-readable gate violations
+
+  const PathOutcome* find(const std::string& path) const;
+  // One JSON object (truth/alert artifact the CI job uploads).
+  std::string to_json() const;
+};
+
+// Runs serial, parallel{2,4} and streaming detection over the analysis
+// trace and applies the spec's gates.
+ScenarioEvaluation evaluate_scenario(const ScenarioRun& run);
+
+}  // namespace rloop::scenarios

@@ -5,6 +5,34 @@
 
 namespace rloop::trafficgen {
 
+const RatePhase* active_phase(const std::vector<RatePhase>& phases,
+                              net::TimeNs t) {
+  for (const auto& phase : phases) {
+    if (t >= phase.start && t < phase.end) return &phase;
+  }
+  return nullptr;
+}
+
+double phase_multiplier(const std::vector<RatePhase>& phases, net::TimeNs t) {
+  const RatePhase* phase = active_phase(phases, t);
+  if (phase == nullptr) return 1.0;
+  if (phase->end <= phase->start) return phase->mult_begin;
+  const double f = static_cast<double>(t - phase->start) /
+                   static_cast<double>(phase->end - phase->start);
+  return phase->mult_begin + f * (phase->mult_end - phase->mult_begin);
+}
+
+net::TimeNs next_phase_boundary(const std::vector<RatePhase>& phases,
+                                net::TimeNs t) {
+  net::TimeNs best = -1;
+  for (const auto& phase : phases) {
+    for (const net::TimeNs edge : {phase.start, phase.end}) {
+      if (edge > t && (best < 0 || edge < best)) best = edge;
+    }
+  }
+  return best;
+}
+
 Workload::Workload(WorkloadConfig config,
                    std::shared_ptr<const PrefixPool> destinations,
                    std::shared_ptr<const PrefixPool> sources,
@@ -33,15 +61,40 @@ void Workload::install(sim::Network& network, std::uint64_t seed) {
 }
 
 void Workload::schedule_next_arrival(sim::Network& network) {
+  const net::TimeNs now = network.now();
+  // Instantaneous rate under the active phase (1x outside every phase). The
+  // draw is re-anchored at each phase boundary below, so an idle phase's long
+  // gaps cannot jump over a following burst window.
+  const double mult =
+      std::max(phase_multiplier(config_.phases, now), 1e-6);
   const net::TimeNs gap = std::max<net::TimeNs>(
-      static_cast<net::TimeNs>(rng_->exponential(1e9 / config_.flows_per_second)),
+      static_cast<net::TimeNs>(
+          rng_->exponential(1e9 / (config_.flows_per_second * mult))),
       1);
-  const net::TimeNs next = network.now() + gap;
+  net::TimeNs next = now + gap;
+  bool arrival = true;
+  if (!config_.phases.empty()) {
+    const net::TimeNs boundary = next_phase_boundary(config_.phases, now);
+    if (boundary >= 0 && next > boundary) {
+      next = boundary;  // re-sample at the new phase's rate, no flow started
+      arrival = false;
+    }
+  }
   if (next >= config_.start + config_.duration) return;
-  network.schedule(next, [this, &network]() {
-    start_flow(network);
+  network.schedule(next, [this, &network, arrival]() {
+    if (arrival) start_flow(network);
     schedule_next_arrival(network);
   });
+}
+
+net::Ipv4Addr Workload::sample_dst(net::TimeNs at, util::Rng& rng) {
+  const RatePhase* phase = active_phase(config_.phases, at);
+  if (phase != nullptr && phase->focus_fraction > 0.0 &&
+      rng.bernoulli(phase->focus_fraction)) {
+    return destinations_->sample_host(
+        std::min(phase->focus_rank, destinations_->size() - 1), rng);
+  }
+  return destinations_->sample_destination(rng);
 }
 
 FlowSpec Workload::sample_flow(net::TimeNs at) {
@@ -62,7 +115,7 @@ FlowSpec Workload::sample_flow(net::TimeNs at) {
 
   if (type_draw < mix.tcp / total) {
     spec.type = FlowType::tcp;
-    spec.dst = destinations_->sample_destination(rng);
+    spec.dst = sample_dst(at, rng);
     spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
     static constexpr std::uint16_t kCommonPorts[] = {80,  443, 25,  53,
                                                      110, 21,  8080};
@@ -79,7 +132,7 @@ FlowSpec Workload::sample_flow(net::TimeNs at) {
     }
   } else if (type_draw < (mix.tcp + mix.udp) / total) {
     spec.type = FlowType::udp;
-    spec.dst = destinations_->sample_destination(rng);
+    spec.dst = sample_dst(at, rng);
     spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
     spec.dst_port = rng.bernoulli(0.5)
                         ? 53
@@ -88,7 +141,7 @@ FlowSpec Workload::sample_flow(net::TimeNs at) {
         1, static_cast<int>(rng.exponential(config_.udp_flow_mean_pkts)));
   } else if (type_draw < (mix.tcp + mix.udp + mix.icmp) / total) {
     spec.type = FlowType::icmp_echo;
-    spec.dst = destinations_->sample_destination(rng);
+    spec.dst = sample_dst(at, rng);
     spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
     spec.packet_count = std::max(
         1, static_cast<int>(rng.exponential(config_.icmp_flow_mean_pkts)));

@@ -33,6 +33,35 @@ struct TrafficMix {
   double mcast = 0.015;
 };
 
+// A timed window modulating the arrival process (the scenario engine's
+// idle/burst/ramp phases). The multiplier interpolates linearly from
+// mult_begin at `start` to mult_end at `end`, so a flat burst sets both
+// equal and a ramp sets them apart. Windows must not overlap; outside every
+// window the base rate applies (multiplier 1).
+struct RatePhase {
+  net::TimeNs start = 0;
+  net::TimeNs end = 0;
+  double mult_begin = 1.0;
+  double mult_end = 1.0;
+  // Fraction of arrivals inside the window redirected to the destination
+  // prefix of rank `focus_rank` (single-prefix flash crowd / DDoS shape);
+  // 0 keeps the plain Zipf draw and costs no RNG draw, so configs without
+  // focus reproduce pre-phase traces bit-for-bit.
+  double focus_fraction = 0.0;
+  std::size_t focus_rank = 0;
+};
+
+// Multiplier in effect at `t` (1.0 outside every phase).
+double phase_multiplier(const std::vector<RatePhase>& phases, net::TimeNs t);
+// Earliest phase start or end strictly after `t`, or -1 when none remain.
+// The arrival process re-samples at boundaries so a long idle gap cannot
+// jump over a burst window.
+net::TimeNs next_phase_boundary(const std::vector<RatePhase>& phases,
+                                net::TimeNs t);
+// The phase covering `t`, or nullptr.
+const RatePhase* active_phase(const std::vector<RatePhase>& phases,
+                              net::TimeNs t);
+
 struct WorkloadConfig {
   net::TimeNs start = 0;
   net::TimeNs duration = 60 * net::kSecond;
@@ -60,6 +89,9 @@ struct WorkloadConfig {
   // mid-connection, putting ACK/PSH traffic into Figure 6's looped mix.
   double long_flow_prob = 0.15;
   int long_flow_gap_multiplier = 25;
+  // Scenario-engine rate phases (empty = constant rate, the original
+  // behavior, bit-identical traces).
+  std::vector<RatePhase> phases;
 };
 
 class Workload {
@@ -84,6 +116,8 @@ class Workload {
   void schedule_next_arrival(sim::Network& network);
   void start_flow(sim::Network& network);
   FlowSpec sample_flow(net::TimeNs at);
+  // Destination draw honoring the active phase's focus redirect.
+  net::Ipv4Addr sample_dst(net::TimeNs at, util::Rng& rng);
 
   WorkloadConfig config_;
   std::shared_ptr<const PrefixPool> destinations_;

@@ -10,9 +10,26 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <string_view>
 #include <vector>
 
 namespace rloop::util {
+
+// Derives an independent named sub-stream seed from one user-facing seed, so
+// a single `--seed` reproduces every random draw in a run (network
+// control-plane, workload, failure schedule, ...) while the sub-streams stay
+// decorrelated. FNV-1a over the stream name mixed with the base, finalized
+// with the splitmix64 avalanche.
+inline std::uint64_t derive_seed(std::uint64_t base, std::string_view stream) {
+  std::uint64_t h = 14695981039346656037ULL ^ base;
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
 
 class Rng {
  public:

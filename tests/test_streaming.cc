@@ -212,6 +212,86 @@ TEST(StreamingDetector, DropsRegressionsBeyondTolerance) {
             1u);
 }
 
+// Boundary: a regression of *exactly* reorder_tolerance_ns is still inside
+// the window — clamped, counted as reordered, and processed. The comparison
+// is strict (`last_ts - ts > tolerance` drops), so the fence post belongs to
+// the clamp side.
+TEST(StreamingDetector, ExactlyAtToleranceClamps) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(net::kSecond, dst, 60, 7, 3, 2, net::kMillisecond);
+  const auto& records = builder.trace().records();
+
+  StreamingConfig cfg;
+  cfg.reorder_tolerance_ns = 10 * net::kMillisecond;
+  telemetry::Registry reg;
+  Harness harness(cfg, &reg);
+  harness.detector.on_packet(records[0].ts, records[0].bytes());
+  harness.detector.on_packet(records[1].ts, records[1].bytes());
+  harness.detector.on_packet(records[1].ts - cfg.reorder_tolerance_ns,
+                             records[2].bytes());
+
+  EXPECT_EQ(harness.detector.reordered(), 1u);
+  EXPECT_EQ(harness.detector.reorder_dropped(), 0u);
+  ASSERT_EQ(harness.alerts.size(), 1u);
+  EXPECT_EQ(harness.alerts.front().raised_at, records[1].ts);
+  EXPECT_EQ(reg.counter("rloop_streaming_reordered_total")->value(), 1u);
+  EXPECT_EQ(reg.counter("rloop_streaming_reorder_dropped_total")->value(), 0u);
+}
+
+// Boundary: one nanosecond beyond the tolerance flips the verdict from
+// clamp to drop.
+TEST(StreamingDetector, OneTickBeyondToleranceDrops) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(net::kSecond, dst, 60, 7, 3, 2, net::kMillisecond);
+  const auto& records = builder.trace().records();
+
+  StreamingConfig cfg;
+  cfg.reorder_tolerance_ns = 10 * net::kMillisecond;
+  telemetry::Registry reg;
+  Harness harness(cfg, &reg);
+  harness.detector.on_packet(records[0].ts, records[0].bytes());
+  harness.detector.on_packet(records[1].ts, records[1].bytes());
+  harness.detector.on_packet(records[1].ts - cfg.reorder_tolerance_ns - 1,
+                             records[2].bytes());
+
+  EXPECT_EQ(harness.detector.reordered(), 0u);
+  EXPECT_EQ(harness.detector.reorder_dropped(), 1u);
+  EXPECT_TRUE(harness.alerts.empty());
+  EXPECT_EQ(reg.counter("rloop_streaming_reordered_total")->value(), 0u);
+  EXPECT_EQ(reg.counter("rloop_streaming_reorder_dropped_total")->value(),
+            1u);
+}
+
+// Boundary: tolerance zero drops every regression, even by a single
+// nanosecond, while an equal timestamp is not a regression at all and is
+// processed normally.
+TEST(StreamingDetector, ZeroToleranceDropsAllRegressions) {
+  TraceBuilder builder;
+  const Ipv4Addr dst(203, 0, 113, 10);
+  builder.replica_stream(net::kSecond, dst, 60, 7, 4, 2, net::kMillisecond);
+  const auto& records = builder.trace().records();
+
+  StreamingConfig cfg;
+  cfg.reorder_tolerance_ns = 0;
+  Harness harness(cfg);
+  harness.detector.on_packet(records[0].ts, records[0].bytes());
+  // Equal timestamp: ts < last_ts is false, so no regression machinery runs.
+  harness.detector.on_packet(records[0].ts, records[1].bytes());
+  // 1 ns behind: a regression, and with zero tolerance it is dropped.
+  harness.detector.on_packet(records[0].ts - 1, records[2].bytes());
+  // Far behind: also dropped.
+  harness.detector.on_packet(records[0].ts - net::kSecond,
+                             records[3].bytes());
+
+  EXPECT_EQ(harness.detector.reordered(), 0u);
+  EXPECT_EQ(harness.detector.reorder_dropped(), 2u);
+  EXPECT_EQ(harness.detector.packets_seen(), 4u);
+  // Only the two processed replicas count: below min_replicas, no alert.
+  EXPECT_TRUE(harness.alerts.empty());
+}
+
 // The hard entry budget: peak resident entries never exceed
 // max_open_entries no matter how many distinct packets flood in.
 TEST(StreamingDetector, EntryBudgetCapsResidentEntries) {

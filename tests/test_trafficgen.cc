@@ -304,5 +304,61 @@ TEST(Workload, ValidatesConstruction) {
                std::invalid_argument);
 }
 
+TEST(RatePhase, MultiplierFlatAndInterpolated) {
+  const std::vector<RatePhase> phases = {
+      // Flat burst at 4x for [10s, 20s).
+      {.start = 10 * net::kSecond,
+       .end = 20 * net::kSecond,
+       .mult_begin = 4.0,
+       .mult_end = 4.0},
+      // Linear ramp 1x -> 5x across [30s, 40s).
+      {.start = 30 * net::kSecond,
+       .end = 40 * net::kSecond,
+       .mult_begin = 1.0,
+       .mult_end = 5.0},
+  };
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 0), 1.0);  // outside: base rate
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 10 * net::kSecond), 4.0);
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 15 * net::kSecond), 4.0);
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 25 * net::kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 30 * net::kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 35 * net::kSecond), 3.0);
+  EXPECT_NEAR(phase_multiplier(phases, 40 * net::kSecond - 1), 5.0, 1e-6);
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 45 * net::kSecond), 1.0);
+}
+
+TEST(RatePhase, NextBoundaryWalksStartsAndEnds) {
+  const std::vector<RatePhase> phases = {
+      {.start = 10 * net::kSecond, .end = 20 * net::kSecond},
+      {.start = 30 * net::kSecond, .end = 40 * net::kSecond},
+  };
+  EXPECT_EQ(next_phase_boundary(phases, 0), 10 * net::kSecond);
+  // Strictly after t: standing on a boundary yields the next one.
+  EXPECT_EQ(next_phase_boundary(phases, 10 * net::kSecond), 20 * net::kSecond);
+  EXPECT_EQ(next_phase_boundary(phases, 15 * net::kSecond), 20 * net::kSecond);
+  EXPECT_EQ(next_phase_boundary(phases, 20 * net::kSecond), 30 * net::kSecond);
+  EXPECT_EQ(next_phase_boundary(phases, 35 * net::kSecond), 40 * net::kSecond);
+  EXPECT_EQ(next_phase_boundary(phases, 40 * net::kSecond), -1);
+}
+
+TEST(RatePhase, ActivePhaseHalfOpenWindows) {
+  const std::vector<RatePhase> phases = {
+      {.start = 10 * net::kSecond, .end = 20 * net::kSecond, .focus_rank = 3},
+  };
+  EXPECT_EQ(active_phase(phases, 10 * net::kSecond - 1), nullptr);
+  const RatePhase* active = active_phase(phases, 10 * net::kSecond);
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->focus_rank, 3u);
+  EXPECT_NE(active_phase(phases, 20 * net::kSecond - 1), nullptr);
+  EXPECT_EQ(active_phase(phases, 20 * net::kSecond), nullptr);  // end excluded
+}
+
+TEST(RatePhase, EmptyPhaseListIsIdentity) {
+  const std::vector<RatePhase> phases;
+  EXPECT_DOUBLE_EQ(phase_multiplier(phases, 12345), 1.0);
+  EXPECT_EQ(next_phase_boundary(phases, 0), -1);
+  EXPECT_EQ(active_phase(phases, 0), nullptr);
+}
+
 }  // namespace
 }  // namespace rloop::trafficgen
