@@ -16,23 +16,37 @@
 //          [--budget <entries>] [--reorder-tolerance-ms <ms>]
 //          [--stats <seconds>] [--stats-format prom|json]
 //          [--stats-out <file|->] [--alerts-out <file>]
-//          [--config <file>] [--journal-out <file>] [--no-ring] [--quiet]
+//          [--checkpoint-dir <dir>] [--checkpoint-interval <seconds>]
+//          [--governor] [--config <file>] [--journal-out <file>]
+//          [--no-ring] [--quiet]
 //
 // Signals:
 //   SIGINT/SIGTERM  stop the source, drain the ring, dump final stats, exit 0
 //   SIGHUP          re-read --config and apply reloadable keys live
+//                   (including checkpoint_dir / checkpoint_interval_s)
+//
+// Restart/restore: with --checkpoint-dir set, rloopd snapshots detector
+// state at epoch boundaries and on drain; on start it restores the newest
+// valid snapshot, skips the already-consumed records, and suppresses alert
+// lines already present in --alerts-out, so kill -9 + restart converges on
+// the same alert set as an uninterrupted run (modulo records lost in the
+// ring at the instant of death). A startup line on stderr says which
+// happened: restored (seq, age) or cold start.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 #include "daemon/daemon.h"
 #include "scenarios/scenario.h"
 #include "telemetry/decision_log.h"
 #include "telemetry/exporter.h"
+#include "util/fileio.h"
 
 using namespace rloop;
 
@@ -60,8 +74,10 @@ int usage() {
       "              [--policy block|drop-newest] [--budget <entries>]\n"
       "              [--reorder-tolerance-ms <ms>] [--stats <seconds>]\n"
       "              [--stats-format prom|json] [--stats-out <file|->]\n"
-      "              [--alerts-out <file>] [--config <file>]\n"
-      "              [--journal-out <file>] [--no-ring] [--quiet]\n");
+      "              [--alerts-out <file>] [--checkpoint-dir <dir>]\n"
+      "              [--checkpoint-interval <seconds>] [--governor]\n"
+      "              [--config <file>] [--journal-out <file>]\n"
+      "              [--no-ring] [--quiet]\n");
   return 2;
 }
 
@@ -132,6 +148,12 @@ int main(int argc, char** argv) {
       config.stats_out = v;
     } else if (arg == "--alerts-out" && (v = value())) {
       config.alerts_out = v;
+    } else if (arg == "--checkpoint-dir" && (v = value())) {
+      config.checkpoint_dir = v;
+    } else if (arg == "--checkpoint-interval" && (v = value())) {
+      config.checkpoint_interval = net::from_seconds(std::atof(v));
+    } else if (arg == "--governor") {
+      config.governor_enabled = true;
     } else if (arg == "--config" && (v = value())) {
       config.config_file = v;
     } else if (arg == "--journal-out" && (v = value())) {
@@ -192,14 +214,11 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream alerts_file;
-  if (!config.alerts_out.empty()) {
-    alerts_file.open(config.alerts_out);
-    if (!alerts_file.good()) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   config.alerts_out.c_str());
-      return 1;
-    }
-  }
+  // Alert lines already published by a previous incarnation: the restored
+  // run replays the span between its snapshot and the crash, so those
+  // alerts fire again — suppressing exact duplicates makes crash+restart
+  // emit each alert exactly once across incarnations.
+  std::unordered_set<std::string> emitted;
 
   daemon::Daemon d(
       std::move(config), std::move(packets),
@@ -212,14 +231,58 @@ int main(int argc, char** argv) {
                       alert.prefix24.to_string().c_str(), alert.ttl_delta,
                       static_cast<unsigned long long>(alert.replicas),
                       net::to_millis(alert.raised_at - alert.first_seen));
+        if (!emitted.empty() && emitted.count(line) > 0) return;
         if (!quiet) std::printf("%s\n", line);
-        if (alerts_file.is_open()) alerts_file << line << "\n";
+        // Flushed per line: an alert must be on disk before the checkpoint
+        // that covers it, or a kill -9 loses it for good (the restored run
+        // resumes past the packet that raised it).
+        if (alerts_file.is_open()) alerts_file << line << "\n" << std::flush;
       },
       &registry, journal_ptr);
   d.set_stats_sink([](const std::string& text) {
     std::printf("--- stats ---\n%s\n", text.c_str());
     std::fflush(stdout);
   });
+
+  // The constructor decided cold start vs restore; say which on stderr so
+  // an operator (or the crash-recovery soak) can tell at a glance.
+  const daemon::Daemon::RestoreInfo& restore = d.restore_info();
+  if (!d.config().checkpoint_dir.empty()) {
+    if (restore.restored) {
+      const auto now = static_cast<std::uint64_t>(std::time(nullptr));
+      std::fprintf(stderr,
+                   "rloopd: restored checkpoint seq=%llu age=%llus "
+                   "(skipping %llu consumed records)\n",
+                   static_cast<unsigned long long>(restore.seq),
+                   static_cast<unsigned long long>(
+                       now >= restore.wall_unix_s
+                           ? now - restore.wall_unix_s
+                           : 0),
+                   static_cast<unsigned long long>(restore.source_offset));
+    } else {
+      std::fprintf(stderr, "rloopd: cold start (no valid checkpoint in %s)\n",
+                   d.config().checkpoint_dir.c_str());
+    }
+  }
+
+  if (!d.config().alerts_out.empty()) {
+    const std::string& alerts_out = d.config().alerts_out;
+    if (restore.restored) {
+      // Keep lines from previous incarnations and load them for dedup.
+      std::ifstream prev(alerts_out);
+      std::string line;
+      while (std::getline(prev, line)) {
+        if (!line.empty()) emitted.insert(line);
+      }
+      alerts_file.open(alerts_out, std::ios::app);
+    } else {
+      alerts_file.open(alerts_out);
+    }
+    if (!alerts_file.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", alerts_out.c_str());
+      return 1;
+    }
+  }
 
   g_daemon = &d;
   if (g_stop_flag) d.request_stop();
@@ -247,22 +310,22 @@ int main(int argc, char** argv) {
     if (final_config.stats_out == "-") {
       std::printf("%s\n", json.c_str());
     } else {
-      std::ofstream out(final_config.stats_out);
-      if (!out.good()) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     final_config.stats_out.c_str());
+      // Atomic publication: a scraper polling the stats file sees either
+      // the previous complete snapshot or this one, never a torn write.
+      std::string error;
+      if (!util::write_file_atomic(final_config.stats_out, json + "\n",
+                                   &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
       }
-      out << json << "\n";
     }
   }
   if (journal_ptr) {
-    std::ofstream out(journal_out);
-    if (!out.good()) {
-      std::fprintf(stderr, "error: cannot write %s\n", journal_out.c_str());
+    std::string error;
+    if (!util::write_file_atomic(journal_out, journal.dump(), &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    out << journal.dump();
   }
 
   return stats.invariant_ok() ? 0 : 3;

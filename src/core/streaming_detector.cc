@@ -1,9 +1,12 @@
 #include "core/streaming_detector.h"
 
 #include <algorithm>
+#include <new>
 #include <vector>
 
+#include "net/byteio.h"
 #include "net/packet.h"
+#include "util/failpoint.h"
 
 namespace rloop::core {
 
@@ -35,6 +38,9 @@ StreamingDetector::StreamingDetector(StreamingConfig config,
       m_evicted_(telemetry::get_counter(
           registry, "rloop_streaming_evicted_total", {},
           "Entries evicted by the max_open_entries budget")),
+      m_sampled_(telemetry::get_counter(
+          registry, "rloop_streaming_sampled_dropped_total", {},
+          "Non-suspect packets dropped by overload sampling")),
       m_open_entries_(telemetry::get_gauge(
           registry, "rloop_streaming_open_entries", {},
           "Replica-candidate entries currently tracked; a surge here is "
@@ -55,6 +61,13 @@ void StreamingDetector::sweep(net::TimeNs now) {
       ++it;
     }
   }
+  // Rebuild the sampling exemption set from what survived, so it tracks the
+  // live suspect population and cannot grow without bound.
+  suspects_.clear();
+  for (const auto& [key, entry] : open_) {
+    if (entry.replicas >= 2) suspects_.insert(entry.prefix24);
+  }
+  for (const auto& [prefix, ts] : last_alert_) suspects_.insert(prefix);
   telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
 }
 
@@ -121,6 +134,21 @@ void StreamingDetector::on_packet(net::TimeNs ts,
     sweep(ts);
   }
 
+  // Overload sampling (governor tier 3): non-suspect destinations are
+  // decimated 1-in-sample_n_ before any parsing or hashing. Suspect /24s
+  // keep full fidelity so an in-progress loop's replica count stays exact.
+  if (sample_n_ > 1 && bytes.size() >= net::kIpv4HeaderSize) {
+    const net::Prefix dst24 =
+        net::Prefix::slash24(net::Ipv4Addr(net::read_u32(bytes, 16)));
+    if (!suspects_.contains(dst24) && ++sample_tick_ % sample_n_ != 0) {
+      ++sampled_dropped_;
+      telemetry::inc(m_sampled_);
+      return;
+    }
+  }
+
+  if (RLOOP_FAILPOINT("streaming.insert")) throw std::bad_alloc();
+
   const auto parsed = net::parse_packet(bytes);
   if (!parsed) {
     telemetry::inc(m_parse_failures_);
@@ -164,6 +192,9 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   entry.last_ts = ts;
   entry.last_delta = delta;
   ++entry.replicas;
+  // Two replicas make the entry a loop suspect: exempt its /24 from overload
+  // sampling so the stream's count stays exact under degradation.
+  if (entry.replicas == 2) suspects_.insert(entry.prefix24);
 
   if (entry.replicas >= config_.min_replicas) {
     auto [alert_it, first_alert] = last_alert_.try_emplace(entry.prefix24, ts);
@@ -197,6 +228,63 @@ void StreamingDetector::on_packet(net::TimeNs ts,
       on_alert_(alert);
     }
   }
+}
+
+StreamingDetector::Snapshot StreamingDetector::snapshot() const {
+  Snapshot snap;
+  snap.last_ts = last_ts_;
+  snap.packets_seen = packets_seen_;
+  snap.alerts_raised = alerts_raised_;
+  snap.reordered = reordered_;
+  snap.reorder_dropped = reorder_dropped_;
+  snap.evicted = evicted_;
+  snap.sampled_dropped = sampled_dropped_;
+  snap.peak_open = peak_open_;
+  snap.since_sweep = since_sweep_;
+  snap.open.reserve(open_.size());
+  for (const auto& [key, entry] : open_) snap.open.emplace_back(key, entry);
+  // Canonical order: identical state must serialize to identical bytes
+  // regardless of hash-table iteration order.
+  std::sort(snap.open.begin(), snap.open.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.hash != b.first.hash) {
+                return a.first.hash < b.first.hash;
+              }
+              if (a.first.len != b.first.len) return a.first.len < b.first.len;
+              return a.first.normalized < b.first.normalized;
+            });
+  snap.holddowns.reserve(last_alert_.size());
+  for (const auto& [prefix, ts] : last_alert_) {
+    snap.holddowns.emplace_back(prefix, ts);
+  }
+  std::sort(snap.holddowns.begin(), snap.holddowns.end());
+  return snap;
+}
+
+void StreamingDetector::restore(const Snapshot& snap) {
+  open_.clear();
+  open_.reserve(snap.open.size());
+  for (const auto& [key, entry] : snap.open) open_.emplace(key, entry);
+  last_alert_.clear();
+  last_alert_.reserve(snap.holddowns.size());
+  for (const auto& [prefix, ts] : snap.holddowns) {
+    last_alert_.emplace(prefix, ts);
+  }
+  suspects_.clear();
+  for (const auto& [key, entry] : snap.open) {
+    if (entry.replicas >= 2) suspects_.insert(entry.prefix24);
+  }
+  for (const auto& [prefix, ts] : snap.holddowns) suspects_.insert(prefix);
+  last_ts_ = snap.last_ts;
+  packets_seen_ = snap.packets_seen;
+  alerts_raised_ = snap.alerts_raised;
+  reordered_ = snap.reordered;
+  reorder_dropped_ = snap.reorder_dropped;
+  evicted_ = snap.evicted;
+  sampled_dropped_ = snap.sampled_dropped;
+  peak_open_ = static_cast<std::size_t>(snap.peak_open);
+  since_sweep_ = snap.since_sweep;
+  telemetry::set(m_open_entries_, static_cast<std::int64_t>(open_.size()));
 }
 
 }  // namespace rloop::core

@@ -16,6 +16,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/replica_detector.h"
@@ -59,6 +60,36 @@ class StreamingDetector {
  public:
   using AlertCallback = std::function<void(const LoopAlert&)>;
 
+  // One tracked replica-candidate stream (public so checkpoints can carry
+  // the detector's open state byte-for-byte).
+  struct OpenEntry {
+    net::TimeNs first_ts = 0;
+    net::TimeNs last_ts = 0;
+    std::uint8_t last_ttl = 0;
+    std::uint32_t replicas = 1;
+    int last_delta = 0;
+    net::Prefix prefix24;
+  };
+
+  // A complete, self-contained copy of the detector's mutable state: feed
+  // the same packets to a restore()d detector and to the original and they
+  // produce identical alerts. snapshot() sorts the open entries and
+  // hold-downs so the same state always serializes to the same bytes
+  // (unordered_map iteration order is not deterministic).
+  struct Snapshot {
+    net::TimeNs last_ts = 0;
+    std::uint64_t packets_seen = 0;
+    std::uint64_t alerts_raised = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t reorder_dropped = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t sampled_dropped = 0;
+    std::uint64_t peak_open = 0;
+    std::uint32_t since_sweep = 0;
+    std::vector<std::pair<ReplicaKey, OpenEntry>> open;
+    std::vector<std::pair<net::Prefix, net::TimeNs>> holddowns;
+  };
+
   // `registry` (optional) receives rloop_streaming_* counters and the live
   // open-entry gauge — the operator-facing loop-surge signal. `journal`
   // (optional) receives an alert_raised / alert_suppressed event per
@@ -76,6 +107,28 @@ class StreamingDetector {
   void update_config(const StreamingConfig& config) { config_ = config; }
   const StreamingConfig& config() const { return config_; }
 
+  // --- checkpoint/restore ---------------------------------------------------
+  // Deterministic copy of all mutable state (see Snapshot). O(open_entries).
+  Snapshot snapshot() const;
+  // Replaces all mutable state with `snap` (config and callback are kept).
+  // After restore, feeding the packets that followed the snapshot reproduces
+  // the original alert sequence exactly.
+  void restore(const Snapshot& snap);
+
+  // --- graded degradation ---------------------------------------------------
+  // Overload sampling (governor tier 3): process only one in `n` packets for
+  // destinations that are not currently loop suspects; packets for suspect
+  // /24s (an open entry with >=2 replicas, or a recent alert) always pass.
+  // 0 or 1 restores full fidelity. Dropped packets are counted
+  // (rloop_streaming_sampled_dropped_total) and never reach the parser.
+  void set_sample_keep_one_in(std::uint32_t n) { sample_n_ = n; }
+  std::uint32_t sample_keep_one_in() const { return sample_n_; }
+  std::uint64_t sampled_dropped() const { return sampled_dropped_; }
+
+  // Overload shedding (governor tier 1): detach/reattach the decision
+  // journal without touching detection state.
+  void set_journal(telemetry::DecisionLog* journal) { journal_ = journal; }
+
   std::uint64_t packets_seen() const { return packets_seen_; }
   std::uint64_t alerts_raised() const { return alerts_raised_; }
   // Out-of-order packets clamped into the stream / dropped as too late.
@@ -90,15 +143,6 @@ class StreamingDetector {
   std::size_t peak_open_entries() const { return peak_open_; }
 
  private:
-  struct OpenEntry {
-    net::TimeNs first_ts = 0;
-    net::TimeNs last_ts = 0;
-    std::uint8_t last_ttl = 0;
-    std::uint32_t replicas = 1;
-    int last_delta = 0;
-    net::Prefix prefix24;
-  };
-
   void sweep(net::TimeNs now);
   void enforce_budget(net::TimeNs now);
 
@@ -112,15 +156,23 @@ class StreamingDetector {
   telemetry::Counter* m_reordered_ = nullptr;
   telemetry::Counter* m_reorder_dropped_ = nullptr;
   telemetry::Counter* m_evicted_ = nullptr;
+  telemetry::Counter* m_sampled_ = nullptr;
   telemetry::Gauge* m_open_entries_ = nullptr;
   std::unordered_map<ReplicaKey, OpenEntry, ReplicaKeyHash> open_;
   std::unordered_map<net::Prefix, net::TimeNs> last_alert_;
+  // /24s exempt from overload sampling: any open entry that has already
+  // accumulated >=2 replicas, plus recently alerted prefixes. Rebuilt from
+  // open_/last_alert_ on sweep so it cannot grow without bound.
+  std::unordered_set<net::Prefix> suspects_;
   net::TimeNs last_ts_ = 0;
   std::uint64_t packets_seen_ = 0;
   std::uint64_t alerts_raised_ = 0;
   std::uint64_t reordered_ = 0;
   std::uint64_t reorder_dropped_ = 0;
   std::uint64_t evicted_ = 0;
+  std::uint64_t sampled_dropped_ = 0;
+  std::uint32_t sample_n_ = 0;
+  std::uint32_t sample_tick_ = 0;
   std::size_t peak_open_ = 0;
   std::uint32_t since_sweep_ = 0;
 };

@@ -83,6 +83,11 @@ bool apply_config_file(const std::string& path, DaemonConfig& config,
     } else if (key == "stats_interval_s") {
       ok = parse_double(value, d) && d >= 0;
       if (ok) staged.stats_interval = net::from_seconds(d);
+    } else if (key == "checkpoint_dir") {
+      staged.checkpoint_dir = value;  // "" turns checkpointing off
+    } else if (key == "checkpoint_interval_s") {
+      ok = parse_double(value, d) && d >= 0;
+      if (ok) staged.checkpoint_interval = net::from_seconds(d);
     }
     // Unknown keys (including structural ones) are ignored on reload.
     if (!ok) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/streaming_detector.h"
+#include "daemon/governor.h"
 #include "net/time.h"
 
 namespace rloop::daemon {
@@ -36,6 +37,13 @@ struct DaemonConfig {
   // calling thread. The single-threaded oracle for differential tests and
   // the 1-thread bench point.
   bool use_ring = true;
+  // Graded degradation (daemon/governor.h): when enabled, sustained ring
+  // pressure walks the shed-journal / widen-batching / sample / drop tiers
+  // instead of going straight from "fine" to the back-pressure policy.
+  // Off by default: tier 4 forces drops even under `block`, which trades
+  // the lossless guarantee for bounded latency — an operator's choice.
+  bool governor_enabled = false;
+  GovernorConfig governor;
 
   // --- detection (reloadable) ----------------------------------------------
   core::StreamingConfig streaming = daemon_streaming_defaults();
@@ -46,6 +54,14 @@ struct DaemonConfig {
   std::string stats_out;   // final stats JSON path; "" = none, "-" = stdout
   std::string alerts_out;  // alert lines ("" = none)
   std::string config_file;  // key=value file re-read on SIGHUP
+
+  // --- checkpointing (reloadable) -------------------------------------------
+  // Directory for crash-safe state snapshots (daemon/checkpoint.h); "" =
+  // checkpointing off. Snapshots are cut at epoch boundaries, at most one
+  // per `checkpoint_interval` of trace time (0 = every epoch), and a final
+  // one on graceful drain.
+  std::string checkpoint_dir;
+  net::TimeNs checkpoint_interval = 0;
 
   // A daemon fed by real capture tolerates jitter and bounds its state by
   // default; the offline StreamingConfig defaults stay strict.

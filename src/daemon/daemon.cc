@@ -1,12 +1,17 @@
 #include "daemon/daemon.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <new>
 #include <sstream>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "telemetry/exporter.h"
+#include "util/failpoint.h"
 
 namespace rloop::daemon {
 
@@ -45,7 +50,15 @@ std::string DaemonStats::to_json(const std::string& metrics_json) const {
       << ",\"reorder_dropped\":" << reorder_dropped
       << ",\"evicted\":" << evicted << ",\"open_entries\":" << open_entries
       << ",\"peak_open_entries\":" << peak_open_entries
-      << ",\"last_packet_ts_ns\":" << last_packet_ts;
+      << ",\"last_packet_ts_ns\":" << last_packet_ts
+      << ",\"checkpoints_written\":" << checkpoints_written
+      << ",\"checkpoint_failures\":" << checkpoint_failures
+      << ",\"restored_seq\":" << restored_seq
+      << ",\"degrade_tier\":" << degrade_tier
+      << ",\"degrade_escalations\":" << degrade_escalations
+      << ",\"degrade_deescalations\":" << degrade_deescalations
+      << ",\"alloc_failures\":" << alloc_failures
+      << ",\"sampled_dropped\":" << sampled_dropped;
   if (!metrics_json.empty()) out << ",\"metrics\":" << metrics_json;
   out << "}";
   return out.str();
@@ -57,6 +70,7 @@ Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
     : config_(std::move(config)),
       source_(std::move(source)),
       registry_(registry),
+      journal_(journal),
       detector_(
           config_.streaming,
           [this, cb = std::move(on_alert)](const core::LoopAlert& alert) {
@@ -65,6 +79,7 @@ Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
           },
           registry, journal),
       ring_(config_.ring_capacity),
+      governor_(config_.governor, registry),
       m_pushed_(telemetry::get_counter(
           registry, "rloop_daemon_ring_pushed_total", {},
           "Records the producer took from the packet source")),
@@ -84,6 +99,12 @@ Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
       m_reloads_(telemetry::get_counter(
           registry, "rloop_daemon_config_reloads_total", {},
           "SIGHUP config reloads applied")),
+      m_checkpoints_(telemetry::get_counter(
+          registry, "rloop_daemon_checkpoints_written_total", {},
+          "State snapshots published to the checkpoint directory")),
+      m_ckpt_failures_(telemetry::get_counter(
+          registry, "rloop_daemon_checkpoint_failures_total", {},
+          "Snapshot writes that failed (state kept, daemon continues)")),
       m_ring_occupancy_(telemetry::get_gauge(
           registry, "rloop_daemon_ring_occupancy", {},
           "Records resident in the ingest ring at last epoch")),
@@ -92,19 +113,122 @@ Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
           "Wall nanoseconds spent detecting per consumer epoch")),
       m_batch_size_(telemetry::get_histogram(
           registry, "rloop_daemon_batch_size", batch_bounds(), {},
-          "Records drained per consumer epoch")) {}
+          "Records drained per consumer epoch")) {
+  batch_limit_ = config_.batch_size;
+  if (config_.governor_enabled) {
+    governor_.set_transition_hook(
+        [](DegradeTier from, DegradeTier to, double occupancy) {
+          std::fprintf(stderr,
+                       "rloopd: degrade tier %s -> %s (ring %.0f%% full)\n",
+                       degrade_tier_name(from), degrade_tier_name(to),
+                       occupancy * 100.0);
+        });
+  }
+  try_restore();
+}
 
 Daemon::~Daemon() = default;
+
+void Daemon::try_restore() {
+  if (config_.checkpoint_dir.empty()) return;
+  CheckpointState state;
+  if (!load_latest_checkpoint(config_.checkpoint_dir, state)) return;
+  detector_.restore(state.detector);
+  // The snapshot's ledger was reconciled at write time (records still in
+  // the ring were never consumed and count as lost with the old process),
+  // so pushed == consumed + dropped holds from the first stats() call.
+  pushed_.store(state.pushed, std::memory_order_relaxed);
+  consumed_.store(state.consumed, std::memory_order_relaxed);
+  dropped_.store(state.dropped, std::memory_order_relaxed);
+  epochs_ = state.epochs;
+  alerts_ = state.alerts;
+  last_packet_ts_ = state.detector.last_ts;
+  evicted_reported_ = detector_.evicted();
+  ckpt_seq_ = state.seq;
+  last_ckpt_ts_ = state.detector.last_ts;
+  restore_info_ = {true, state.seq, state.wall_unix_s, state.source_offset};
+  if (source_) source_->skip(state.source_offset);
+}
+
+void Daemon::maybe_checkpoint(bool force) {
+  if (config_.checkpoint_dir.empty()) return;
+  if (!force && config_.checkpoint_interval > 0 &&
+      last_packet_ts_ - last_ckpt_ts_ < config_.checkpoint_interval) {
+    return;
+  }
+  CheckpointState state;
+  state.seq = ckpt_seq_ + 1;
+  state.wall_unix_s = static_cast<std::uint64_t>(std::time(nullptr));
+  state.consumed = consumed_.load(std::memory_order_relaxed);
+  state.dropped = dropped_.load(std::memory_order_relaxed);
+  // Resume point: the consumed prefix plus back-pressure drops. Records
+  // sitting in the ring at a crash are lost with the process (the "modulo
+  // the ring window" caveat); reconcile `pushed` down so the restored
+  // ledger balances.
+  state.source_offset = state.consumed + state.dropped;
+  state.pushed = state.source_offset;
+  state.epochs = epochs_;
+  state.alerts = alerts_;
+  state.detector = detector_.snapshot();
+  std::string error;
+  if (write_checkpoint_file(config_.checkpoint_dir, state, &error)) {
+    ckpt_seq_ = state.seq;
+    last_ckpt_ts_ = last_packet_ts_;
+    ++checkpoints_written_;
+    telemetry::inc(m_checkpoints_);
+  } else {
+    // Never fatal: detection state is intact, the previous snapshot is
+    // still on disk, and the failure is visible in stats.
+    ++checkpoint_failures_;
+    telemetry::inc(m_ckpt_failures_);
+  }
+}
+
+void Daemon::apply_tier(DegradeTier tier) {
+  const int t = static_cast<int>(tier);
+  detector_.set_journal(
+      t >= static_cast<int>(DegradeTier::shed_observability) ? nullptr
+                                                             : journal_);
+  batch_limit_ = t >= static_cast<int>(DegradeTier::widen_batching)
+                     ? config_.batch_size * governor_.config().batch_multiplier
+                     : config_.batch_size;
+  detector_.set_sample_keep_one_in(
+      t >= static_cast<int>(DegradeTier::sample_suspects)
+          ? governor_.config().sample_keep_one_in
+          : 0);
+  force_drop_.store(t >= static_cast<int>(DegradeTier::drop_newest),
+                    std::memory_order_relaxed);
+}
+
+void Daemon::export_failpoint_trips() {
+  if (!registry_) return;
+  for (const auto& [name, trips] :
+       util::FailpointRegistry::instance().trip_counts()) {
+    auto& reported = failpoint_reported_[name];
+    if (trips > reported) {
+      telemetry::inc(
+          telemetry::get_counter(registry_, "rloop_failpoint_trips_total",
+                                 {{"name", name}},
+                                 "Failpoint trips by site name"),
+          trips - reported);
+      reported = trips;
+    }
+  }
+}
 
 void Daemon::producer_loop() {
   net::TraceRecord rec;
   while (!stop_.load(std::memory_order_relaxed) && source_->next(rec)) {
     pushed_.fetch_add(1, std::memory_order_relaxed);
     telemetry::inc(m_pushed_);
-    if (ring_.try_push(rec)) continue;
-    if (config_.back_pressure == BackPressure::block) {
+    // Injected push failure takes the drop path (ledger stays exact).
+    const bool injected_fail = RLOOP_FAILPOINT("daemon.ring.push");
+    if (!injected_fail && ring_.try_push(rec)) continue;
+    if (!injected_fail && config_.back_pressure == BackPressure::block &&
+        !force_drop_.load(std::memory_order_relaxed)) {
       bool delivered = false;
-      while (!stop_.load(std::memory_order_relaxed)) {
+      while (!stop_.load(std::memory_order_relaxed) &&
+             !force_drop_.load(std::memory_order_relaxed)) {
         if (ring_.try_push(rec)) {
           delivered = true;
           break;
@@ -123,7 +247,14 @@ void Daemon::producer_loop() {
 void Daemon::consume_batch(const net::TraceRecord* batch, std::size_t n) {
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < n; ++i) {
-    detector_.on_packet(batch[i].ts, batch[i].bytes());
+    try {
+      detector_.on_packet(batch[i].ts, batch[i].bytes());
+    } catch (const std::bad_alloc&) {
+      // The packet is lost but the daemon survives; memory pressure is not
+      // something wider batching fixes, so jump straight to sampling.
+      const DegradeTier tier = governor_.on_alloc_failure();
+      if (config_.governor_enabled) apply_tier(tier);
+    }
   }
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - t0)
@@ -149,6 +280,8 @@ void Daemon::apply_reload() {
   ++reloads_;
   telemetry::inc(m_reloads_);
   if (config_.config_file.empty()) return;
+  // Injected reload failure == unreadable file: running config unchanged.
+  if (RLOOP_FAILPOINT("daemon.config.reload")) return;
   std::string error;
   if (apply_config_file(config_.config_file, config_, &error)) {
     detector_.update_config(config_.streaming);
@@ -168,11 +301,17 @@ DaemonStats Daemon::run() {
         stats_sink_);
   }
 
-  std::vector<net::TraceRecord> batch(config_.batch_size);
+  // Sized for the widest tier-2 batch so widening never reallocates.
+  std::vector<net::TraceRecord> batch(
+      config_.governor_enabled
+          ? config_.batch_size *
+                std::max<std::size_t>(1, config_.governor.batch_multiplier)
+          : config_.batch_size);
   if (config_.use_ring) {
     std::thread producer([this] { producer_loop(); });
     for (;;) {
-      std::size_t n = ring_.pop_batch(batch.data(), batch.size());
+      std::size_t n = ring_.pop_batch(
+          batch.data(), std::min(batch.size(), batch_limit_));
       if (n == 0) {
         if (producer_done_.load(std::memory_order_acquire)) {
           n = ring_.pop_batch(batch.data(), batch.size());
@@ -182,8 +321,23 @@ DaemonStats Daemon::run() {
           continue;
         }
       }
+      if (RLOOP_FAILPOINT("daemon.ring.pop")) {
+        // Batch discarded unseen; count it consumed so the ledger balances.
+        consumed_.fetch_add(n, std::memory_order_relaxed);
+        telemetry::inc(m_consumed_, n);
+        continue;
+      }
       consume_batch(batch.data(), n);
       if (reload_.exchange(false, std::memory_order_relaxed)) apply_reload();
+      if (config_.governor_enabled) {
+        apply_tier(governor_.on_epoch(ring_.size_approx(), ring_.capacity()));
+      }
+      maybe_checkpoint(/*force=*/false);
+      // Per-epoch anchor for fault injection; a no-op on trip, the
+      // crash-recovery soak arms it with kill@nth:N to die here.
+      if (RLOOP_FAILPOINT("daemon.epoch")) {
+      }
+      export_failpoint_trips();
       if (exporter) exporter->pump(last_packet_ts_);
     }
     producer.join();
@@ -194,7 +348,7 @@ DaemonStats Daemon::run() {
     bool more = true;
     while (more && !stop_.load(std::memory_order_relaxed)) {
       std::size_t n = 0;
-      while (n < batch.size() && (more = source_->next(rec))) {
+      while (n < batch_limit_ && (more = source_->next(rec))) {
         batch[n++] = rec;
       }
       if (n == 0) break;
@@ -202,10 +356,18 @@ DaemonStats Daemon::run() {
       telemetry::inc(m_pushed_, n);
       consume_batch(batch.data(), n);
       if (reload_.exchange(false, std::memory_order_relaxed)) apply_reload();
+      maybe_checkpoint(/*force=*/false);
+      if (RLOOP_FAILPOINT("daemon.epoch")) {
+      }
+      export_failpoint_trips();
       if (exporter) exporter->pump(last_packet_ts_);
     }
     producer_done_.store(true, std::memory_order_release);
   }
+  // Final snapshot on drain: a graceful stop + restart resumes exactly
+  // where this run left off.
+  maybe_checkpoint(/*force=*/true);
+  export_failpoint_trips();
   if (exporter && last_packet_ts_ > 0) exporter->flush(last_packet_ts_);
   return stats();
 }
@@ -225,6 +387,15 @@ DaemonStats Daemon::stats() const {
   s.open_entries = detector_.open_entries();
   s.peak_open_entries = detector_.peak_open_entries();
   s.last_packet_ts = last_packet_ts_;
+  s.checkpoints_written = checkpoints_written_;
+  s.checkpoint_failures = checkpoint_failures_;
+  s.restored_seq = restore_info_.restored ? restore_info_.seq : 0;
+  s.degrade_tier =
+      config_.governor_enabled ? static_cast<int>(governor_.tier()) : 0;
+  s.degrade_escalations = governor_.escalations();
+  s.degrade_deescalations = governor_.deescalations();
+  s.alloc_failures = governor_.alloc_failures();
+  s.sampled_dropped = detector_.sampled_dropped();
   return s;
 }
 

@@ -40,11 +40,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "core/streaming_detector.h"
+#include "daemon/checkpoint.h"
 #include "daemon/config.h"
+#include "daemon/governor.h"
 #include "daemon/packet_source.h"
 #include "daemon/spsc_ring.h"
 #include "net/trace.h"
@@ -67,6 +70,16 @@ struct DaemonStats {
   std::size_t open_entries = 0;
   std::size_t peak_open_entries = 0;
   net::TimeNs last_packet_ts = 0;
+  // Checkpointing (0s when no checkpoint_dir is configured).
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t restored_seq = 0;  // snapshot this run resumed from; 0 = cold
+  // Graded degradation (governor.h); tier 0 with the governor disabled.
+  int degrade_tier = 0;
+  std::uint64_t degrade_escalations = 0;
+  std::uint64_t degrade_deescalations = 0;
+  std::uint64_t alloc_failures = 0;
+  std::uint64_t sampled_dropped = 0;
 
   bool invariant_ok() const { return pushed == consumed + dropped; }
 
@@ -116,21 +129,46 @@ class Daemon {
   // Current config (reload may have changed the reloadable keys).
   const DaemonConfig& config() const { return config_; }
 
+  // How this run started: cold, or resumed from snapshot `seq` written at
+  // `wall_unix_s`. Valid after construction.
+  struct RestoreInfo {
+    bool restored = false;
+    std::uint64_t seq = 0;
+    std::uint64_t wall_unix_s = 0;
+    std::uint64_t source_offset = 0;  // records skipped on resume
+  };
+  const RestoreInfo& restore_info() const { return restore_info_; }
+
+  const OverloadGovernor& governor() const { return governor_; }
+
  private:
   void producer_loop();
   void consume_batch(const net::TraceRecord* batch, std::size_t n);
   void apply_reload();
+  void try_restore();
+  // Cuts a snapshot when due (`force` ignores the interval); counts
+  // failures but never throws — checkpointing must not take the daemon down.
+  void maybe_checkpoint(bool force);
+  // Applies the governor tier's effects (journal, batch width, sampling,
+  // forced drop). Consumer thread only.
+  void apply_tier(DegradeTier tier);
+  // Mirrors failpoint trip counts into rloop_failpoint_trips_total{name=}.
+  void export_failpoint_trips();
 
   DaemonConfig config_;
   std::unique_ptr<PacketSource> source_;
   telemetry::Registry* registry_ = nullptr;
+  telemetry::DecisionLog* journal_ = nullptr;
   StatsSink stats_sink_;
   core::StreamingDetector detector_;
   SpscRing<net::TraceRecord> ring_;
+  OverloadGovernor governor_;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> reload_{false};
   std::atomic<bool> producer_done_{false};
+  // Governor tier 4: producer drops on a full ring even under `block`.
+  std::atomic<bool> force_drop_{false};
 
   // Producer-written, consumer/exporter-read.
   std::atomic<std::uint64_t> pushed_{0};
@@ -142,6 +180,15 @@ class Daemon {
   std::uint64_t alerts_ = 0;
   net::TimeNs last_packet_ts_ = 0;
   std::uint64_t evicted_reported_ = 0;
+  // Consumer-thread checkpoint state.
+  std::uint64_t ckpt_seq_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t checkpoint_failures_ = 0;
+  net::TimeNs last_ckpt_ts_ = 0;
+  RestoreInfo restore_info_;
+  // Effective per-epoch drain limit (batch_size, widened at tier >= 2).
+  std::size_t batch_limit_ = 0;
+  std::map<std::string, std::uint64_t> failpoint_reported_;
 
   telemetry::Counter* m_pushed_ = nullptr;
   telemetry::Counter* m_consumed_ = nullptr;
@@ -149,6 +196,8 @@ class Daemon {
   telemetry::Counter* m_epochs_ = nullptr;
   telemetry::Counter* m_evicted_ = nullptr;
   telemetry::Counter* m_reloads_ = nullptr;
+  telemetry::Counter* m_checkpoints_ = nullptr;
+  telemetry::Counter* m_ckpt_failures_ = nullptr;
   telemetry::Gauge* m_ring_occupancy_ = nullptr;
   telemetry::Histogram* m_epoch_ns_ = nullptr;
   telemetry::Histogram* m_batch_size_ = nullptr;

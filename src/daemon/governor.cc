@@ -1,0 +1,86 @@
+#include "daemon/governor.h"
+
+namespace rloop::daemon {
+
+const char* degrade_tier_name(DegradeTier tier) {
+  switch (tier) {
+    case DegradeTier::normal:
+      return "normal";
+    case DegradeTier::shed_observability:
+      return "shed_observability";
+    case DegradeTier::widen_batching:
+      return "widen_batching";
+    case DegradeTier::sample_suspects:
+      return "sample_suspects";
+    case DegradeTier::drop_newest:
+      return "drop_newest";
+  }
+  return "unknown";
+}
+
+OverloadGovernor::OverloadGovernor(GovernorConfig config,
+                                   telemetry::Registry* registry)
+    : config_(config),
+      m_tier_(telemetry::get_gauge(
+          registry, "rloop_daemon_degrade_tier", {},
+          "Current degradation tier (0 normal .. 4 drop_newest)")),
+      m_escalations_(telemetry::get_counter(
+          registry, "rloop_daemon_degrade_escalations_total", {},
+          "Degradation tier steps up (overload onsets)")),
+      m_deescalations_(telemetry::get_counter(
+          registry, "rloop_daemon_degrade_deescalations_total", {},
+          "Degradation tier steps down (recoveries)")),
+      m_alloc_failures_(telemetry::get_counter(
+          registry, "rloop_daemon_alloc_failures_total", {},
+          "Allocation failures absorbed by detection (escalate to "
+          "sampling)")) {}
+
+void OverloadGovernor::move_to(DegradeTier to, double occupancy) {
+  const DegradeTier from = tier_;
+  if (to == from) return;
+  tier_ = to;
+  calm_epochs_ = 0;
+  if (static_cast<int>(to) > static_cast<int>(from)) {
+    ++escalations_;
+    telemetry::inc(m_escalations_);
+  } else {
+    ++deescalations_;
+    telemetry::inc(m_deescalations_);
+  }
+  telemetry::set(m_tier_, static_cast<std::int64_t>(to));
+  if (hook_) hook_(from, to, occupancy);
+}
+
+DegradeTier OverloadGovernor::on_epoch(std::size_t occupancy,
+                                       std::size_t capacity) {
+  const double fill =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(occupancy) /
+                          static_cast<double>(capacity);
+  if (fill >= config_.enter_occupancy) {
+    calm_epochs_ = 0;
+    if (tier_ != DegradeTier::drop_newest) {
+      move_to(static_cast<DegradeTier>(static_cast<int>(tier_) + 1), fill);
+    }
+  } else if (fill <= config_.exit_occupancy) {
+    if (tier_ != DegradeTier::normal &&
+        ++calm_epochs_ >= config_.hold_epochs) {
+      move_to(static_cast<DegradeTier>(static_cast<int>(tier_) - 1), fill);
+    }
+  } else {
+    // Inside the hysteresis band: hold the tier, reset the calm streak.
+    calm_epochs_ = 0;
+  }
+  return tier_;
+}
+
+DegradeTier OverloadGovernor::on_alloc_failure() {
+  ++alloc_failures_;
+  telemetry::inc(m_alloc_failures_);
+  if (static_cast<int>(tier_) < static_cast<int>(DegradeTier::sample_suspects)) {
+    move_to(DegradeTier::sample_suspects, 1.0);
+  }
+  return tier_;
+}
+
+}  // namespace rloop::daemon

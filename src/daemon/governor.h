@@ -1,0 +1,106 @@
+// Graded degradation for the daemon: explicit tiers instead of a cliff.
+//
+// Before this governor the daemon had exactly two load states: "fine" and
+// "the ring is full, records are dropping". The governor inserts ordered
+// intermediate tiers, each shedding something cheaper than detection
+// fidelity, so sustained overload degrades the *observability* and
+// *latency* of the daemon long before it degrades the answer:
+//
+//   tier 0  normal              everything on
+//   tier 1  shed_observability  detach the decision journal (per-packet
+//                               trace I/O is the first ballast overboard)
+//   tier 2  widen_batching      multiply the epoch batch size: fewer
+//                               epoch boundaries, better amortization,
+//                               coarser stats cadence
+//   tier 3  sample_suspects     detector keeps 1-in-N packets for
+//                               destinations that are not current loop
+//                               suspects; suspect /24s keep full fidelity
+//                               (see StreamingDetector sampling)
+//   tier 4  drop_newest         force the producer to drop rather than
+//                               block: the old cliff, now the *last* tier
+//
+// Transitions are driven by ring occupancy at epoch boundaries, with
+// hysteresis: escalate one tier per epoch while occupancy is at or above
+// `enter_occupancy`; de-escalate one tier only after `hold_epochs`
+// consecutive epochs at or below `exit_occupancy` (the gap between the two
+// thresholds plus the hold keeps the governor from flapping on a sawtooth
+// ring). An allocation failure inside detection escalates straight to
+// tier 3 — memory pressure is not a latency problem batching can fix.
+// Every transition is counted, exported, and reported through an optional
+// hook so the daemon can log it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "telemetry/registry.h"
+
+namespace rloop::daemon {
+
+enum class DegradeTier : int {
+  normal = 0,
+  shed_observability = 1,
+  widen_batching = 2,
+  sample_suspects = 3,
+  drop_newest = 4,
+};
+
+// Human-readable tier name ("normal", "shed_observability", ...).
+const char* degrade_tier_name(DegradeTier tier);
+
+struct GovernorConfig {
+  // Escalate while occupancy/capacity >= enter; count toward de-escalation
+  // while <= exit. enter > exit is the hysteresis band.
+  double enter_occupancy = 0.75;
+  double exit_occupancy = 0.30;
+  // Consecutive calm epochs required before stepping one tier down.
+  std::uint32_t hold_epochs = 8;
+  // Tier-2 batch widening factor and tier-3 sampling divisor (keep 1-in-N).
+  std::uint32_t batch_multiplier = 4;
+  std::uint32_t sample_keep_one_in = 8;
+};
+
+class OverloadGovernor {
+ public:
+  // Called on every tier change with (from, to, occupancy at the decision).
+  using TransitionHook =
+      std::function<void(DegradeTier from, DegradeTier to, double occupancy)>;
+
+  explicit OverloadGovernor(GovernorConfig config,
+                            telemetry::Registry* registry = nullptr);
+
+  // Feed the ring state at an epoch boundary; returns the (possibly new)
+  // tier. `capacity` 0 is treated as occupancy 0 (inline mode: no ring, no
+  // pressure signal, governor stays at normal / decays back to it).
+  DegradeTier on_epoch(std::size_t occupancy, std::size_t capacity);
+
+  // An allocation failed inside detection: jump to at least
+  // sample_suspects immediately (no hysteresis on the way up).
+  DegradeTier on_alloc_failure();
+
+  DegradeTier tier() const { return tier_; }
+  const GovernorConfig& config() const { return config_; }
+  std::uint64_t escalations() const { return escalations_; }
+  std::uint64_t deescalations() const { return deescalations_; }
+  std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void move_to(DegradeTier to, double occupancy);
+
+  GovernorConfig config_;
+  DegradeTier tier_ = DegradeTier::normal;
+  std::uint32_t calm_epochs_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t deescalations_ = 0;
+  std::uint64_t alloc_failures_ = 0;
+  TransitionHook hook_;
+  telemetry::Gauge* m_tier_ = nullptr;
+  telemetry::Counter* m_escalations_ = nullptr;
+  telemetry::Counter* m_deescalations_ = nullptr;
+  telemetry::Counter* m_alloc_failures_ = nullptr;
+};
+
+}  // namespace rloop::daemon

@@ -32,7 +32,8 @@ bool ReplaySource::next(net::TraceRecord& out) {
   if (index_ >= trace_->size()) return false;
   const net::TraceRecord& rec = (*trace_)[index_++];
   if (speed_ > 0) {
-    if (index_ == 1) {
+    if (!anchored_) {
+      anchored_ = true;
       wall_anchor_ns_ = wall_now_ns();
       trace_anchor_ = rec.ts;
     } else {
@@ -48,6 +49,14 @@ bool ReplaySource::next(net::TraceRecord& out) {
   }
   out = rec;
   return true;
+}
+
+void ReplaySource::skip(std::size_t n) {
+  index_ = n >= trace_->size() - index_ ? trace_->size() : index_ + n;
+  // Re-anchor at the next delivered record: a resumed paced replay plays
+  // the remaining records at the configured speed instead of sprinting to
+  // catch up with the skipped span.
+  anchored_ = false;
 }
 
 std::unique_ptr<PacketSource> make_pcap_source(const std::string& path,

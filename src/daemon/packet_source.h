@@ -38,6 +38,15 @@ class PacketSource {
 
   // Records this source will produce in total, 0 when unknown (live).
   virtual std::size_t expected_packets() const { return 0; }
+
+  // Discards the next `n` records (checkpoint restore: fast-forward past
+  // the already-consumed prefix). Replay sources jump their index; the
+  // default pulls and discards, which also works for live sources.
+  virtual void skip(std::size_t n) {
+    net::TraceRecord discard;
+    while (n-- > 0 && next(discard)) {
+    }
+  }
 };
 
 // Replays an in-memory Trace. speed <= 0 replays as fast as possible;
@@ -53,6 +62,10 @@ class ReplaySource : public PacketSource {
   bool next(net::TraceRecord& out) override;
   std::string name() const override { return name_; }
   std::size_t expected_packets() const override { return trace_->size(); }
+  // O(1): advances the replay index without pacing sleeps. The first record
+  // actually delivered re-anchors pacing, so a paced resumed replay does not
+  // try to "catch up" the skipped span in wall time.
+  void skip(std::size_t n) override;
 
  private:
   net::Trace owned_;
@@ -60,8 +73,9 @@ class ReplaySource : public PacketSource {
   std::string name_;
   double speed_;
   std::size_t index_ = 0;
-  std::int64_t wall_anchor_ns_ = 0;  // wall clock at first record
-  net::TimeNs trace_anchor_ = 0;     // trace ts of first record
+  bool anchored_ = false;            // pacing anchor taken yet?
+  std::int64_t wall_anchor_ns_ = 0;  // wall clock at first delivered record
+  net::TimeNs trace_anchor_ = 0;     // trace ts of first delivered record
 };
 
 // read_pcap_fast + ReplaySource. Throws what the pcap readers throw.

@@ -1,12 +1,14 @@
 #include "net/pcap.h"
 
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
 
 #include "net/byteio.h"
+#include "util/failpoint.h"
 
 namespace rloop::net {
 
@@ -43,6 +45,26 @@ std::uint32_t get_u32(const unsigned char* p, bool swapped) {
 std::uint16_t get_u16be(const unsigned char* p) {
   return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) |
                                     std::uint16_t{p[1]});
+}
+
+// Reads exactly `n` bytes unless the stream ends first; returns how many
+// bytes landed in `out`. A read interrupted by a signal (EINTR bubbling up
+// through the filebuf as failbit) is retried from where it stopped instead
+// of being mistaken for a truncated capture.
+std::streamsize read_full(std::istream& in, char* out, std::streamsize n) {
+  std::streamsize got = 0;
+  while (got < n) {
+    errno = 0;
+    in.read(out + got, n - got);
+    got += in.gcount();
+    if (got == n || in.eof()) break;
+    if (in.fail() && errno == EINTR) {
+      in.clear();
+      continue;
+    }
+    break;  // genuine I/O error: report the short read
+  }
+  return got;
 }
 
 }  // namespace
@@ -92,8 +114,8 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
   if (!in) throw std::runtime_error("read_pcap: cannot open " + path);
 
   std::array<unsigned char, kFileHeaderSize> fh{};
-  in.read(reinterpret_cast<char*>(fh.data()), fh.size());
-  if (in.gcount() != static_cast<std::streamsize>(fh.size())) {
+  if (read_full(in, reinterpret_cast<char*>(fh.data()), fh.size()) !=
+      static_cast<std::streamsize>(fh.size())) {
     throw std::runtime_error("read_pcap: truncated file header");
   }
 
@@ -126,7 +148,22 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
   std::vector<unsigned char> buf;
   std::array<unsigned char, kRecordHeaderSize> rh{};
 
-  while (in.read(reinterpret_cast<char*>(rh.data()), rh.size())) {
+  for (;;) {
+    const std::streamsize header_got =
+        read_full(in, reinterpret_cast<char*>(rh.data()), rh.size());
+    if (header_got == 0) break;  // clean end of capture
+    if (header_got < static_cast<std::streamsize>(rh.size())) {
+      // A partial record header at EOF is the same truncation case as a
+      // partial body: count it rather than silently treating it as a clean
+      // end.
+      telemetry::inc(m_truncated);
+      break;
+    }
+    // Injected read failure: the capture "ends" here mid-record.
+    if (RLOOP_FAILPOINT("pcap.read")) {
+      telemetry::inc(m_truncated);
+      break;
+    }
     const std::uint32_t sec = get_u32(rh.data(), swapped);
     const std::uint32_t frac = get_u32(rh.data() + 4, swapped);
     const std::uint32_t cap_len = get_u32(rh.data() + 8, swapped);
@@ -135,8 +172,8 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
       throw std::runtime_error("read_pcap: implausible record length");
     }
     buf.resize(cap_len);
-    in.read(reinterpret_cast<char*>(buf.data()), cap_len);
-    if (in.gcount() != static_cast<std::streamsize>(cap_len)) {
+    if (read_full(in, reinterpret_cast<char*>(buf.data()), cap_len) !=
+        static_cast<std::streamsize>(cap_len)) {
       // The capture ends mid-record (killed tcpdump, full disk): keep what
       // was read and count the remnant instead of failing the whole trace.
       telemetry::inc(m_truncated);
@@ -179,12 +216,6 @@ Trace read_pcap(const std::string& path, telemetry::Registry* registry) {
               std::span<const std::byte>(
                   reinterpret_cast<const std::byte*>(pkt), pkt_len),
               pkt_wire_len);
-  }
-  // A partial record header at EOF is the same truncation case as a partial
-  // body: count it rather than silently treating it as a clean end.
-  if (in.gcount() > 0 &&
-      in.gcount() < static_cast<std::streamsize>(kRecordHeaderSize)) {
-    telemetry::inc(m_truncated);
   }
   return trace;
 }

@@ -1,10 +1,12 @@
 #include "net/pcap_mmap.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "net/pcap.h"
+#include "util/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define RLOOP_HAVE_MMAP 1
@@ -38,6 +40,8 @@ std::uint16_t get_u16be(const std::byte* p) {
 }
 
 }  // namespace
+
+void (*pcap_mmap_test_hook)() = nullptr;
 
 Trace parse_pcap_buffer(std::span<const std::byte> data,
                         const std::string& source_name,
@@ -154,6 +158,13 @@ std::optional<Trace> read_pcap_mmap(const std::string& path,
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throw std::runtime_error("read_pcap: cannot open " + path);
 
+  // Injected mmap failure: report the path unavailable so the caller takes
+  // the ifstream fallback, exactly like a real mmap refusal.
+  if (RLOOP_FAILPOINT("pcap.mmap")) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
   struct stat st{};
   if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
     ::close(fd);
@@ -166,15 +177,33 @@ std::optional<Trace> read_pcap_mmap(const std::string& path,
 
   const auto size = static_cast<std::size_t>(st.st_size);
   void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps the file alive
-  if (map == MAP_FAILED) return std::nullopt;
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return std::nullopt;
+  }
 #if defined(MADV_SEQUENTIAL)
   ::madvise(map, size, MADV_SEQUENTIAL);
 #endif
 
+  if (pcap_mmap_test_hook) pcap_mmap_test_hook();
+
+  // A writer may have truncated the file between open and here (rotating
+  // capture tooling does exactly this). Pages past the new EOF are no
+  // longer backed — touching them raises SIGBUS, not a read error — so
+  // re-check the size while the fd is still open and parse only the span
+  // the file still covers; the parser then counts the cut as an ordinary
+  // truncated record instead of the process dying mid-read.
+  std::size_t effective = size;
+  struct stat st2{};
+  if (::fstat(fd, &st2) == 0 && S_ISREG(st2.st_mode)) {
+    effective = std::min(size, static_cast<std::size_t>(st2.st_size));
+  }
+  ::close(fd);  // the mapping keeps the file alive
+
   try {
     Trace trace = parse_pcap_buffer(
-        std::span<const std::byte>(static_cast<const std::byte*>(map), size),
+        std::span<const std::byte>(static_cast<const std::byte*>(map),
+                                   effective),
         "pcap:" + path, registry);
     ::munmap(map, size);
     return trace;

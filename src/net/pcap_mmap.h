@@ -44,4 +44,10 @@ std::optional<Trace> read_pcap_mmap(const std::string& path,
 Trace read_pcap_fast(const std::string& path,
                      telemetry::Registry* registry = nullptr);
 
+// Test-only seam: when non-null, invoked by read_pcap_mmap between mapping
+// the file and re-checking its size. The truncation regression test shrinks
+// the file here — the exact window where a concurrent `truncate` would
+// otherwise turn a page access into SIGBUS.
+extern void (*pcap_mmap_test_hook)();
+
 }  // namespace rloop::net

@@ -16,9 +16,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/failpoint.h"
 
 namespace rloop::util {
 
@@ -80,6 +83,7 @@ class Arena {
 
  private:
   void grow(std::size_t min_bytes) {
+    if (RLOOP_FAILPOINT("arena.alloc")) throw std::bad_alloc();
     // Oversized requests get a chunk of their own size; either way the new
     // chunk becomes the bump area (the old chunk's slack is abandoned, which
     // wastes at most one object's worth of bytes per chunk).

@@ -1,0 +1,89 @@
+// Atomic, interrupt-safe file publication.
+//
+// A scraper reading the daemon's stats file, or a restarting daemon reading
+// its own checkpoint, must never observe a half-written file. The only
+// portable way to get that on POSIX is write-to-temp + rename: rename(2) is
+// atomic within a filesystem, so readers see either the old complete file or
+// the new complete file, never a torn one. write_file_atomic wraps that
+// dance (unique temp name beside the target, EINTR-retried writes, fsync
+// before rename so a power cut cannot publish an empty file).
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace rloop::util {
+
+// Writes `content` to `path` so that any concurrent reader sees either the
+// previous complete content or the new complete content. Returns false with
+// a message in *error (when non-null) on failure; the target is untouched
+// on failure.
+inline bool write_file_atomic(const std::string& path,
+                              const std::string& content,
+                              std::string* error = nullptr) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = -1;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error) *error = "cannot create " + tmp;
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = "write failed for " + tmp;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  if (rc != 0) {
+    if (error) *error = "fsync failed for " + tmp;
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename failed for " + path;
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+#else
+  // No atomic rename guarantee off-POSIX; best effort via stdio.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    if (error) *error = "cannot create " + tmp;
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "cannot publish " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+#endif
+}
+
+}  // namespace rloop::util

@@ -37,9 +37,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "util/failpoint.h"
 
 namespace rloop::util {
 
@@ -188,6 +191,7 @@ class FlatMap {
   // Grows the table so `entries` fit within the 7/8 load bound.
   void reserve(std::size_t entries) {
     if (slots_.empty() || entries * 8 > slots_.size() * 7) {
+      if (RLOOP_FAILPOINT("flat_map.grow")) throw std::bad_alloc();
       rehash_for(entries);
     }
   }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Failpoint matrix: arm each production failpoint site in turn and require
+# rloopd to degrade gracefully — clean exit with a consistent invariant, no
+# crash, no hang. Runs only against a -DRLOOP_FAILPOINTS=ON build (with
+# failpoints compiled out every spec below is inert and the matrix proves
+# nothing, so ctest gates it on the option).
+#
+# Usage: failpoint_matrix.sh <rloopd-binary> [pcap_inspect-binary]
+set -eu
+
+RLOOPD=$1
+PCAP_INSPECT=${2:-}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/rloop_fpmatrix.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+run_site() {
+  spec=$1
+  shift
+  echo "== $spec =="
+  if ! RLOOP_FAILPOINTS_SPEC="$spec" timeout 120 "$RLOOPD" "$@" \
+      >"$WORK/out" 2>"$WORK/err"; then
+    echo "FAIL: $spec: rloopd exited non-zero" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  fi
+}
+
+# drop-newest so a single injected push failure sheds one record instead of
+# blocking the producer forever.
+SCEN="--scenario ddos_burst --seed 0 --speed max --policy drop-newest --quiet"
+
+for site in daemon.ring.push daemon.ring.pop daemon.epoch \
+            streaming.insert arena.alloc flat_map.grow; do
+  run_site "$site=trip@nth:5" $SCEN --alerts-out "$WORK/alerts.txt"
+done
+
+# A failed snapshot write must be absorbed (counted, retried next epoch),
+# never fatal — and must not leave a half-written file the next start trusts.
+run_site "daemon.checkpoint.write=trip@nth:2" $SCEN \
+  --checkpoint-dir "$WORK/ckpt"
+env -u RLOOP_FAILPOINTS_SPEC timeout 120 "$RLOOPD" $SCEN \
+  --checkpoint-dir "$WORK/ckpt" >"$WORK/out" 2>"$WORK/err" || {
+  echo "FAIL: restart after tripped checkpoint write" >&2
+  cat "$WORK/err" >&2
+  exit 1
+}
+
+# SIGHUP mid-run with the reload failpoint tripped: the reload is abandoned,
+# the running config stays live, and the run still completes.
+echo "== daemon.config.reload=trip@nth:1 (live SIGHUP) =="
+echo "stats_interval_s=0" >"$WORK/reload.conf"
+RLOOP_FAILPOINTS_SPEC="daemon.config.reload=trip@nth:1" \
+  timeout 120 "$RLOOPD" --scenario ddos_burst --seed 0 --speed 5 \
+  --policy drop-newest --quiet --config "$WORK/reload.conf" \
+  >"$WORK/out" 2>"$WORK/err" &
+PID=$!
+sleep 2
+kill -HUP "$PID" 2>/dev/null || true
+if ! wait "$PID"; then
+  echo "FAIL: daemon.config.reload trip during SIGHUP" >&2
+  cat "$WORK/err" >&2
+  exit 1
+fi
+
+# pcap ingest sites need a real capture; pcap_inspect --selftest writes one.
+if [ -n "$PCAP_INSPECT" ]; then
+  TMPDIR="$WORK" "$PCAP_INSPECT" --selftest >/dev/null
+  PCAP="$WORK/rloop_selftest.pcap"
+  # pcap.read: the stream is cut short and counted as truncated.
+  run_site "pcap.read=trip@nth:40" --pcap "$PCAP" --speed max --quiet
+  # pcap.mmap: the fast path reports failure and ingest falls back to the
+  # ifstream reader with identical records.
+  run_site "pcap.mmap=trip@nth:1" --pcap "$PCAP" --speed max --quiet
+fi
+
+echo "failpoint_matrix: PASS"

@@ -1,0 +1,151 @@
+// Unit tests for the failpoint framework (util/failpoint.h). This binary
+// compiles with RLOOP_FAILPOINTS defined per-target, and deliberately
+// exercises only sites evaluated in THIS translation unit — the production
+// sites (arena.alloc, daemon.epoch, ...) live in library code compiled
+// without the define here, and are exercised end-to-end by the
+// crash-recovery soak and failpoint matrix in a -DRLOOP_FAILPOINTS=ON
+// build (mixing per-target defines with header-inline sites would be an
+// ODR violation, so we don't).
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rloop::util {
+namespace {
+
+FailpointRegistry& reg() { return FailpointRegistry::instance(); }
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { reg().disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(RLOOP_FAILPOINT("test.disarmed"));
+  }
+  EXPECT_EQ(reg().site("test.disarmed").trips(), 0u);
+}
+
+TEST_F(FailpointTest, TripAlwaysFiresEveryEvaluation) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.always", "trip", &error)) << error;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (RLOOP_FAILPOINT("test.always")) ++fired;
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(reg().site("test.always").trips(), 10u);
+  EXPECT_EQ(reg().site("test.always").hits(), 10u);
+}
+
+TEST_F(FailpointTest, NthTriggerFiresExactlyOnce) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.nth", "trip@nth:7", &error)) << error;
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 20; ++i) {
+    if (RLOOP_FAILPOINT("test.nth")) fired_at.push_back(i);
+  }
+  EXPECT_EQ(fired_at, std::vector<int>{7});
+  EXPECT_EQ(reg().site("test.nth").trips(), 1u);
+}
+
+TEST_F(FailpointTest, RearmResetsTheHitCounter) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.rearm", "trip@nth:3", &error)) << error;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (RLOOP_FAILPOINT("test.rearm")) ++fired;
+  }
+  EXPECT_EQ(fired, 1);
+  ASSERT_TRUE(reg().arm("test.rearm", "trip@nth:3", &error)) << error;
+  for (int i = 0; i < 5; ++i) {
+    if (RLOOP_FAILPOINT("test.rearm")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(FailpointTest, ProbZeroNeverFiresProbOneAlwaysFires) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.prob", "trip@prob:0.0", &error)) << error;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(RLOOP_FAILPOINT("test.prob"));
+  }
+  ASSERT_TRUE(reg().arm("test.prob", "trip@prob:1.0", &error)) << error;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(RLOOP_FAILPOINT("test.prob"));
+  }
+}
+
+TEST_F(FailpointTest, ProbHalfFiresRoughlyHalfTheTime) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.prob_half", "trip@prob:0.5", &error)) << error;
+  int fired = 0;
+  constexpr int kTrials = 10'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (RLOOP_FAILPOINT("test.prob_half")) ++fired;
+  }
+  // splitmix64 over a counter: tight concentration around 0.5.
+  EXPECT_GT(fired, kTrials * 2 / 5);
+  EXPECT_LT(fired, kTrials * 3 / 5);
+}
+
+TEST_F(FailpointTest, OffSpecDisarmsAnArmedSite) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.off", "trip", &error)) << error;
+  EXPECT_TRUE(RLOOP_FAILPOINT("test.off"));
+  ASSERT_TRUE(reg().arm("test.off", "off", &error)) << error;
+  EXPECT_FALSE(RLOOP_FAILPOINT("test.off"));
+}
+
+TEST_F(FailpointTest, ApplySpecArmsMultipleSites) {
+  std::string error;
+  ASSERT_TRUE(
+      reg().apply_spec("test.multi_a=trip;test.multi_b=trip@nth:2", &error))
+      << error;
+  EXPECT_TRUE(RLOOP_FAILPOINT("test.multi_a"));
+  EXPECT_FALSE(RLOOP_FAILPOINT("test.multi_b"));
+  EXPECT_TRUE(RLOOP_FAILPOINT("test.multi_b"));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedWithMessages) {
+  FailpointConfig cfg;
+  std::string error;
+  EXPECT_FALSE(FailpointRegistry::parse_spec("explode", cfg, &error));
+  EXPECT_NE(error.find("unknown action"), std::string::npos);
+  EXPECT_FALSE(FailpointRegistry::parse_spec("trip@sometimes", cfg, &error));
+  EXPECT_NE(error.find("unknown trigger"), std::string::npos);
+  EXPECT_FALSE(FailpointRegistry::parse_spec("trip@nth:zero", cfg, &error));
+  EXPECT_FALSE(FailpointRegistry::parse_spec("trip@nth:0", cfg, &error));
+  EXPECT_FALSE(FailpointRegistry::parse_spec("trip@prob:1.5", cfg, &error));
+  EXPECT_FALSE(FailpointRegistry::parse_spec("trip@prob:x", cfg, &error));
+  EXPECT_FALSE(reg().apply_spec("=trip", &error));
+  EXPECT_FALSE(reg().apply_spec("noequals", &error));
+}
+
+TEST_F(FailpointTest, TripCountsReportEverySite) {
+  std::string error;
+  ASSERT_TRUE(reg().arm("test.counted", "trip", &error)) << error;
+  (void)RLOOP_FAILPOINT("test.counted");
+  (void)RLOOP_FAILPOINT("test.counted");
+  bool found = false;
+  for (const auto& [name, trips] : reg().trip_counts()) {
+    if (name == "test.counted") {
+      found = true;
+      EXPECT_EQ(trips, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, SiteReferencesAreStable) {
+  FailpointSite& a = reg().site("test.stable");
+  FailpointSite& b = reg().site("test.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rloop::util

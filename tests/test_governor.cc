@@ -1,0 +1,215 @@
+// Overload-governor tests: tier walk under sustained pressure, hysteresis
+// (hold before stepping down, mid-band resets the calm streak), the
+// alloc-failure jump, transition accounting — plus the detector-side
+// suspect-exempt sampling that tier 3 switches on.
+#include "daemon/governor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/streaming_detector.h"
+#include "net/packet.h"
+#include "telemetry/registry.h"
+#include "trace_builder.h"
+
+namespace rloop::daemon {
+namespace {
+
+using net::Ipv4Addr;
+using rloop::testing::TraceBuilder;
+
+GovernorConfig small_config() {
+  GovernorConfig cfg;
+  cfg.hold_epochs = 3;  // short hold keeps the tests compact
+  return cfg;
+}
+
+TEST(Governor, WalksUpOneTierPerOverloadedEpoch) {
+  OverloadGovernor gov(small_config());
+  EXPECT_EQ(gov.tier(), DegradeTier::normal);
+
+  const std::vector<DegradeTier> expected = {
+      DegradeTier::shed_observability, DegradeTier::widen_batching,
+      DegradeTier::sample_suspects, DegradeTier::drop_newest,
+      DegradeTier::drop_newest};  // saturates at the top tier
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(gov.on_epoch(90, 100), expected[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(gov.escalations(), 4u);
+  EXPECT_EQ(gov.deescalations(), 0u);
+}
+
+TEST(Governor, HysteresisHoldsBeforeSteppingDown) {
+  OverloadGovernor gov(small_config());
+  gov.on_epoch(90, 100);
+  gov.on_epoch(90, 100);
+  ASSERT_EQ(gov.tier(), DegradeTier::widen_batching);
+
+  // Calm epochs below exit_occupancy: the tier must hold for
+  // hold_epochs - 1 epochs and step down exactly one tier on the third.
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::widen_batching);
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::widen_batching);
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::shed_observability);
+  // The streak restarts per step: another full hold to reach normal.
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::shed_observability);
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::shed_observability);
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::normal);
+  EXPECT_EQ(gov.deescalations(), 2u);
+}
+
+TEST(Governor, MidBandOccupancyResetsTheCalmStreak) {
+  OverloadGovernor gov(small_config());
+  gov.on_epoch(90, 100);
+  ASSERT_EQ(gov.tier(), DegradeTier::shed_observability);
+
+  gov.on_epoch(10, 100);
+  gov.on_epoch(10, 100);
+  // Mid-band (between exit and enter): neither escalates nor counts as calm.
+  EXPECT_EQ(gov.on_epoch(50, 100), DegradeTier::shed_observability);
+  // The calm streak starts over: two calm epochs are not enough...
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::shed_observability);
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::shed_observability);
+  // ...the third is.
+  EXPECT_EQ(gov.on_epoch(10, 100), DegradeTier::normal);
+}
+
+TEST(Governor, BoundaryOccupanciesFollowTheConfiguredThresholds) {
+  OverloadGovernor gov(small_config());  // enter 0.75, exit 0.30
+  // Exactly at enter_occupancy escalates; just below does not.
+  EXPECT_EQ(gov.on_epoch(74, 100), DegradeTier::normal);
+  EXPECT_EQ(gov.on_epoch(75, 100), DegradeTier::shed_observability);
+  // Exactly at exit_occupancy counts as calm.
+  gov.on_epoch(30, 100);
+  gov.on_epoch(30, 100);
+  EXPECT_EQ(gov.on_epoch(30, 100), DegradeTier::normal);
+}
+
+TEST(Governor, ZeroCapacityIsZeroPressure) {
+  OverloadGovernor gov(small_config());
+  gov.on_epoch(90, 100);
+  ASSERT_EQ(gov.tier(), DegradeTier::shed_observability);
+  // Inline mode (no ring): capacity 0 reads as occupancy 0 — calm.
+  gov.on_epoch(0, 0);
+  gov.on_epoch(0, 0);
+  EXPECT_EQ(gov.on_epoch(0, 0), DegradeTier::normal);
+}
+
+TEST(Governor, AllocFailureJumpsStraightToSampling) {
+  OverloadGovernor gov(small_config());
+  EXPECT_EQ(gov.on_alloc_failure(), DegradeTier::sample_suspects);
+  EXPECT_EQ(gov.alloc_failures(), 1u);
+  EXPECT_EQ(gov.escalations(), 1u);
+
+  // Already above sampling: the jump never de-escalates.
+  OverloadGovernor high(small_config());
+  for (int i = 0; i < 4; ++i) high.on_epoch(100, 100);
+  ASSERT_EQ(high.tier(), DegradeTier::drop_newest);
+  EXPECT_EQ(high.on_alloc_failure(), DegradeTier::drop_newest);
+  EXPECT_EQ(high.alloc_failures(), 1u);
+}
+
+TEST(Governor, TransitionsFireTheHookAndTelemetry) {
+  telemetry::Registry reg;
+  OverloadGovernor gov(small_config(), &reg);
+  struct Transition {
+    DegradeTier from, to;
+    double occupancy;
+  };
+  std::vector<Transition> seen;
+  gov.set_transition_hook([&](DegradeTier from, DegradeTier to, double occ) {
+    seen.push_back({from, to, occ});
+  });
+
+  gov.on_epoch(90, 100);
+  for (int i = 0; i < 3; ++i) gov.on_epoch(10, 100);
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].from, DegradeTier::normal);
+  EXPECT_EQ(seen[0].to, DegradeTier::shed_observability);
+  EXPECT_DOUBLE_EQ(seen[0].occupancy, 0.9);
+  EXPECT_EQ(seen[1].from, DegradeTier::shed_observability);
+  EXPECT_EQ(seen[1].to, DegradeTier::normal);
+  EXPECT_DOUBLE_EQ(seen[1].occupancy, 0.1);
+
+  EXPECT_EQ(reg.counter("rloop_daemon_degrade_escalations_total")->value(),
+            1u);
+  EXPECT_EQ(reg.counter("rloop_daemon_degrade_deescalations_total")->value(),
+            1u);
+  EXPECT_EQ(reg.gauge("rloop_daemon_degrade_tier")->value(), 0);
+}
+
+TEST(Governor, TierNamesAreStable) {
+  EXPECT_STREQ(degrade_tier_name(DegradeTier::normal), "normal");
+  EXPECT_STREQ(degrade_tier_name(DegradeTier::shed_observability),
+               "shed_observability");
+  EXPECT_STREQ(degrade_tier_name(DegradeTier::widen_batching),
+               "widen_batching");
+  EXPECT_STREQ(degrade_tier_name(DegradeTier::sample_suspects),
+               "sample_suspects");
+  EXPECT_STREQ(degrade_tier_name(DegradeTier::drop_newest), "drop_newest");
+}
+
+// --- tier-3 mechanics in the detector ---------------------------------------
+
+TEST(Governor, SamplingDecimatesNonSuspectTraffic) {
+  core::StreamingDetector detector({}, nullptr);
+  detector.set_sample_keep_one_in(4);
+
+  TraceBuilder builder;
+  for (int i = 0; i < 1000; ++i) {
+    builder.packet(i * net::kMicrosecond,
+                   Ipv4Addr(10, static_cast<std::uint8_t>(i >> 8),
+                            static_cast<std::uint8_t>(i), 1),
+                   64, static_cast<std::uint16_t>(i));
+  }
+  for (const auto& rec : builder.trace().records()) {
+    detector.on_packet(rec.ts, rec.bytes());
+  }
+
+  EXPECT_EQ(detector.sampled_dropped(), 750u) << "keep 1-in-4 exactly";
+  EXPECT_LE(detector.open_entries(), 250u);
+}
+
+TEST(Governor, SuspectPrefixesAreExemptFromSampling) {
+  std::vector<core::LoopAlert> alerts;
+  core::StreamingDetector detector(
+      {}, [&](const core::LoopAlert& a) { alerts.push_back(a); });
+
+  // Two replicas at full fidelity make the /24 a suspect...
+  const Ipv4Addr dst(203, 0, 113, 10);
+  TraceBuilder head;
+  head.replica_stream(0, dst, 60, 7, 2, 2, net::kMillisecond);
+  for (const auto& rec : head.trace().records()) {
+    detector.on_packet(rec.ts, rec.bytes());
+  }
+  ASSERT_TRUE(alerts.empty());
+
+  // ...so under brutal sampling every further replica still gets through
+  // and the alert fires with an exact replica count.
+  detector.set_sample_keep_one_in(1'000'000);
+  TraceBuilder tail;
+  tail.replica_stream(2 * net::kMillisecond, dst, 56, 7, 4, 2,
+                      net::kMillisecond);
+  for (const auto& rec : tail.trace().records()) {
+    detector.on_packet(rec.ts, rec.bytes());
+  }
+
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts.front().prefix24, net::Prefix::slash24(dst));
+  EXPECT_EQ(alerts.front().replicas, 3u);
+  EXPECT_EQ(detector.sampled_dropped(), 0u)
+      << "suspect traffic must never be sampled away";
+
+  // Full fidelity restored: 0 (or 1) disables the decimator.
+  detector.set_sample_keep_one_in(0);
+  TraceBuilder noise;
+  noise.packet(10 * net::kMillisecond, Ipv4Addr(10, 1, 2, 3), 64, 99);
+  for (const auto& rec : noise.trace().records()) {
+    detector.on_packet(rec.ts, rec.bytes());
+  }
+  EXPECT_EQ(detector.sampled_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace rloop::daemon
