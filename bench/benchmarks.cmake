@@ -30,7 +30,7 @@ rloop_bench(baseline_comparison)
 rloop_bench(ablation_detector)
 rloop_bench(micro_detector benchmark::benchmark)
 rloop_bench(memory_layout benchmark::benchmark)
-rloop_bench(bench_to_json rloop_daemon)
+rloop_bench(bench_to_json rloop_daemon rloop_net)
 rloop_bench(daemon_throughput benchmark::benchmark rloop_daemon)
 rloop_bench(correlation_routing rloop_correlate)
 rloop_bench(persistent_loops rloop_correlate)

@@ -18,7 +18,11 @@
 //          [--stats-out <file|->] [--alerts-out <file>]
 //          [--checkpoint-dir <dir>] [--checkpoint-interval <seconds>]
 //          [--governor] [--config <file>] [--journal-out <file>]
-//          [--no-ring] [--quiet]
+//          [--http-port <port>] [--no-ring] [--quiet]
+//
+// With --http-port (0 = pick an ephemeral port, printed on stderr) rloopd
+// serves a live observability plane on 127.0.0.1: /metrics /healthz /readyz
+// /status /loops /events. See DESIGN.md "Observability plane".
 //
 // Signals:
 //   SIGINT/SIGTERM  stop the source, drain the ring, dump final stats, exit 0
@@ -43,7 +47,9 @@
 #include <unordered_set>
 
 #include "daemon/daemon.h"
+#include "daemon/observability.h"
 #include "scenarios/scenario.h"
+#include "telemetry/build_info.h"
 #include "telemetry/decision_log.h"
 #include "telemetry/exporter.h"
 #include "util/fileio.h"
@@ -77,7 +83,7 @@ int usage() {
       "              [--alerts-out <file>] [--checkpoint-dir <dir>]\n"
       "              [--checkpoint-interval <seconds>] [--governor]\n"
       "              [--config <file>] [--journal-out <file>]\n"
-      "              [--no-ring] [--quiet]\n");
+      "              [--http-port <port>] [--no-ring] [--quiet]\n");
   return 2;
 }
 
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   double speed = 0;  // "max": replay as fast as the consumer can take it
   bool quiet = false;
   std::string journal_out;
+  int http_port = -1;  // -1 = observability plane off
   daemon::DaemonConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -158,6 +165,9 @@ int main(int argc, char** argv) {
       config.config_file = v;
     } else if (arg == "--journal-out" && (v = value())) {
       journal_out = v;
+    } else if (arg == "--http-port" && (v = value())) {
+      http_port = std::atoi(v);
+      if (http_port < 0 || http_port > 65535) return usage();
     } else if (arg == "--no-ring") {
       config.use_ring = false;
     } else if (arg == "--quiet") {
@@ -186,9 +196,29 @@ int main(int argc, char** argv) {
   std::signal(SIGHUP, handle_reload);
 
   telemetry::Registry registry;
+  telemetry::register_build_info(&registry);
   telemetry::DecisionLog journal;
   telemetry::DecisionLog* journal_ptr =
       journal_out.empty() ? nullptr : &journal;
+
+  // The observability plane comes up before the Daemon is even constructed:
+  // a slow checkpoint restore is visible as /readyz 503 "starting" instead
+  // of a connection refused.
+  daemon::ObservabilityHub obs_hub;
+  std::unique_ptr<daemon::ObservabilityServer> obs_server;
+  if (http_port >= 0) {
+    daemon::ObservabilityServer::Options obs_options;
+    obs_options.http.port = http_port;
+    obs_server = std::make_unique<daemon::ObservabilityServer>(
+        &obs_hub, &registry, obs_options);
+    std::string error;
+    if (!obs_server->start(&error)) {
+      std::fprintf(stderr, "error: http server: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rloopd: http listening on 127.0.0.1:%d\n",
+                 obs_server->port());
+  }
 
   std::unique_ptr<daemon::PacketSource> packets;
   try {
@@ -232,6 +262,7 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(alert.replicas),
                       net::to_millis(alert.raised_at - alert.first_seen));
         if (!emitted.empty() && emitted.count(line) > 0) return;
+        if (obs_server) obs_hub.publish_event(line);
         if (!quiet) std::printf("%s\n", line);
         // Flushed per line: an alert must be on disk before the checkpoint
         // that covers it, or a kill -9 loses it for good (the restored run
@@ -284,11 +315,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  d.attach_observability(&obs_hub);
+
   g_daemon = &d;
   if (g_stop_flag) d.request_stop();
 
   const daemon::DaemonStats stats = d.run();
   g_daemon = nullptr;
+  // Stopped after run(): the final (draining) status was published, so a
+  // scraper racing the shutdown sees drained counters, not a reset.
+  if (obs_server) obs_server->stop();
 
   if (!quiet) {
     std::printf(

@@ -230,6 +230,24 @@ void StreamingDetector::on_packet(net::TimeNs ts,
   }
 }
 
+std::vector<StreamingDetector::SuspectEntry>
+StreamingDetector::suspect_entries(std::size_t max) const {
+  std::vector<SuspectEntry> out;
+  for (const auto& [key, entry] : open_) {
+    if (entry.replicas < 2) continue;
+    out.push_back({entry.prefix24, entry.first_ts, entry.last_ts,
+                   entry.replicas, entry.last_delta});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SuspectEntry& a, const SuspectEntry& b) {
+              if (a.replicas != b.replicas) return a.replicas > b.replicas;
+              if (a.prefix24 != b.prefix24) return a.prefix24 < b.prefix24;
+              return a.first_ts < b.first_ts;
+            });
+  if (max > 0 && out.size() > max) out.resize(max);
+  return out;
+}
+
 StreamingDetector::Snapshot StreamingDetector::snapshot() const {
   Snapshot snap;
   snap.last_ts = last_ts_;

@@ -129,6 +129,24 @@ class StreamingDetector {
   // journal without touching detection state.
   void set_journal(telemetry::DecisionLog* journal) { journal_ = journal; }
 
+  // --- observability --------------------------------------------------------
+  // One currently-open suspect stream, exported live via the daemon's
+  // /loops endpoint: an open entry that has accumulated >= 2 replicas (the
+  // same threshold that exempts a /24 from overload sampling).
+  struct SuspectEntry {
+    net::Prefix prefix24;
+    net::TimeNs first_ts = 0;
+    net::TimeNs last_ts = 0;
+    std::uint32_t replicas = 0;
+    int ttl_delta = 0;
+  };
+
+  // Deterministic copy of the open suspect entries: sorted by replicas
+  // descending (hottest loop first), then prefix. `max` > 0 truncates —
+  // callers copying at epoch boundaries bound the copy, not the caller's
+  // patience. Same-thread-only, like every other detector accessor.
+  std::vector<SuspectEntry> suspect_entries(std::size_t max = 0) const;
+
   std::uint64_t packets_seen() const { return packets_seen_; }
   std::uint64_t alerts_raised() const { return alerts_raised_; }
   // Out-of-order packets clamped into the stream / dropped as too late.

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "daemon/observability.h"
 #include "telemetry/exporter.h"
 #include "util/failpoint.h"
 
@@ -113,8 +114,16 @@ Daemon::Daemon(DaemonConfig config, std::unique_ptr<PacketSource> source,
           "Wall nanoseconds spent detecting per consumer epoch")),
       m_batch_size_(telemetry::get_histogram(
           registry, "rloop_daemon_batch_size", batch_bounds(), {},
-          "Records drained per consumer epoch")) {
+          "Records drained per consumer epoch")),
+      m_uptime_s_(telemetry::get_gauge(
+          registry, "rloop_daemon_uptime_seconds", {},
+          "Wall seconds since the daemon was constructed")),
+      m_last_packet_ts_s_(telemetry::get_gauge(
+          registry, "rloop_daemon_last_packet_timestamp_seconds", {},
+          "Trace timestamp of the newest packet consumed, in seconds")) {
   batch_limit_ = config_.batch_size;
+  start_unix_s_ = static_cast<std::uint64_t>(std::time(nullptr));
+  start_steady_ = std::chrono::steady_clock::now();
   if (config_.governor_enabled) {
     governor_.set_transition_hook(
         [](DegradeTier from, DegradeTier to, double occupancy) {
@@ -147,6 +156,7 @@ void Daemon::try_restore() {
   ckpt_seq_ = state.seq;
   last_ckpt_ts_ = state.detector.last_ts;
   restore_info_ = {true, state.seq, state.wall_unix_s, state.source_offset};
+  last_ckpt_wall_unix_s_ = state.wall_unix_s;
   if (source_) source_->skip(state.source_offset);
 }
 
@@ -174,6 +184,7 @@ void Daemon::maybe_checkpoint(bool force) {
   if (write_checkpoint_file(config_.checkpoint_dir, state, &error)) {
     ckpt_seq_ = state.seq;
     last_ckpt_ts_ = last_packet_ts_;
+    last_ckpt_wall_unix_s_ = state.wall_unix_s;
     ++checkpoints_written_;
     telemetry::inc(m_checkpoints_);
   } else {
@@ -198,6 +209,64 @@ void Daemon::apply_tier(DegradeTier tier) {
           : 0);
   force_drop_.store(t >= static_cast<int>(DegradeTier::drop_newest),
                     std::memory_order_relaxed);
+}
+
+void Daemon::publish_observability(bool final_publish) {
+  const double uptime_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_steady_)
+          .count();
+  telemetry::set(m_uptime_s_, static_cast<std::int64_t>(uptime_s));
+  telemetry::set(m_last_packet_ts_s_,
+                 static_cast<std::int64_t>(last_packet_ts_ / net::kSecond));
+  if (obs_hub_ == nullptr) return;
+
+  StatusSnapshot s;
+  s.started = obs_started_;
+  s.draining = final_publish || stop_requested();
+  s.source = source_ ? source_->name() : "";
+  s.start_unix_s = start_unix_s_;
+  s.uptime_s = uptime_s;
+  s.pushed = pushed_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.ring_capacity = config_.use_ring ? ring_.capacity() : 0;
+  s.ring_occupancy = config_.use_ring ? ring_.size_approx() : 0;
+  s.epochs = epochs_;
+  s.alerts = alerts_;
+  s.reordered = detector_.reordered();
+  s.reorder_dropped = detector_.reorder_dropped();
+  s.evicted = detector_.evicted();
+  s.sampled_dropped = detector_.sampled_dropped();
+  s.open_entries = detector_.open_entries();
+  s.peak_open_entries = detector_.peak_open_entries();
+  s.last_packet_ts = last_packet_ts_;
+  s.config_epoch = reloads_;
+  s.checkpoint_seq = ckpt_seq_;
+  s.checkpoints_written = checkpoints_written_;
+  s.checkpoint_failures = checkpoint_failures_;
+  s.checkpoint_wall_unix_s = last_ckpt_wall_unix_s_;
+  s.restored_seq = restore_info_.restored ? restore_info_.seq : 0;
+  s.degrade_tier =
+      config_.governor_enabled ? static_cast<int>(governor_.tier()) : 0;
+  s.degrade_escalations = governor_.escalations();
+  s.degrade_deescalations = governor_.deescalations();
+  s.alloc_failures = governor_.alloc_failures();
+  obs_hub_->publish_status(s);
+
+  // Demand-paged: the suspect-table copy (filter + sort over every open
+  // entry) only happens when a /loops reader asked since the last refresh,
+  // rate-capped to every kLoopsPublishEvery epochs. The demand flag is
+  // consumed only at cadence boundaries so a request landing mid-cadence is
+  // not lost.
+  if (final_publish ||
+      (epochs_ % kLoopsPublishEvery == 0 && obs_hub_->take_loops_demand())) {
+    auto entries = detector_.suspect_entries(kLoopsPublishMax + 1);
+    const bool truncated = entries.size() > kLoopsPublishMax;
+    if (truncated) entries.pop_back();
+    obs_hub_->publish_loops(std::move(entries), last_packet_ts_, epochs_,
+                            truncated);
+  }
 }
 
 void Daemon::export_failpoint_trips() {
@@ -301,6 +370,12 @@ DaemonStats Daemon::run() {
         stats_sink_);
   }
 
+  // Restore (ctor) is done and consumption is about to begin: readiness
+  // flips here, before the first epoch, so a healthy-but-idle daemon still
+  // answers /readyz 200.
+  obs_started_ = true;
+  publish_observability(/*final_publish=*/false);
+
   // Sized for the widest tier-2 batch so widening never reallocates.
   std::vector<net::TraceRecord> batch(
       config_.governor_enabled
@@ -337,7 +412,14 @@ DaemonStats Daemon::run() {
       // crash-recovery soak arms it with kill@nth:N to die here.
       if (RLOOP_FAILPOINT("daemon.epoch")) {
       }
+      // Injected overload: same escalation path as a detection bad_alloc
+      // (straight to sample_suspects), used to prove /readyz goes 503.
+      if (RLOOP_FAILPOINT("daemon.governor.degrade")) {
+        const DegradeTier tier = governor_.on_alloc_failure();
+        if (config_.governor_enabled) apply_tier(tier);
+      }
       export_failpoint_trips();
+      publish_observability(/*final_publish=*/false);
       if (exporter) exporter->pump(last_packet_ts_);
     }
     producer.join();
@@ -359,7 +441,12 @@ DaemonStats Daemon::run() {
       maybe_checkpoint(/*force=*/false);
       if (RLOOP_FAILPOINT("daemon.epoch")) {
       }
+      if (RLOOP_FAILPOINT("daemon.governor.degrade")) {
+        const DegradeTier tier = governor_.on_alloc_failure();
+        if (config_.governor_enabled) apply_tier(tier);
+      }
       export_failpoint_trips();
+      publish_observability(/*final_publish=*/false);
       if (exporter) exporter->pump(last_packet_ts_);
     }
     producer_done_.store(true, std::memory_order_release);
@@ -368,6 +455,7 @@ DaemonStats Daemon::run() {
   // where this run left off.
   maybe_checkpoint(/*force=*/true);
   export_failpoint_trips();
+  publish_observability(/*final_publish=*/true);
   if (exporter && last_packet_ts_ > 0) exporter->flush(last_packet_ts_);
   return stats();
 }

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,6 +56,8 @@
 #include "telemetry/registry.h"
 
 namespace rloop::daemon {
+
+class ObservabilityHub;  // observability.h; attach_observability is optional
 
 struct DaemonStats {
   std::string source;
@@ -101,6 +104,13 @@ class Daemon {
 
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
+
+  // Attaches the live observability plane (observability.h). The daemon
+  // publishes a StatusSnapshot at every epoch boundary and the open suspect
+  // table every `loops_publish_every` epochs — always with try_lock, so a
+  // scraper holding the hub never stalls the consumer thread. Set before
+  // run(); the hub must outlive the daemon.
+  void attach_observability(ObservabilityHub* hub) { obs_hub_ = hub; }
 
   // Receives each periodic stats dump (Prometheus/JSON text per
   // config.stats_format). Set before run(); fires on the consumer thread,
@@ -152,6 +162,10 @@ class Daemon {
   // Applies the governor tier's effects (journal, batch width, sampling,
   // forced drop). Consumer thread only.
   void apply_tier(DegradeTier tier);
+  // Epoch-boundary publish into obs_hub_ (no-op when unattached). Status
+  // every call; the suspect table every loops_publish_every epochs or when
+  // `final_publish` (drain) is set.
+  void publish_observability(bool final_publish);
   // Mirrors failpoint trip counts into rloop_failpoint_trips_total{name=}.
   void export_failpoint_trips();
 
@@ -185,7 +199,15 @@ class Daemon {
   std::uint64_t checkpoints_written_ = 0;
   std::uint64_t checkpoint_failures_ = 0;
   net::TimeNs last_ckpt_ts_ = 0;
+  std::uint64_t last_ckpt_wall_unix_s_ = 0;  // newest on-disk snapshot
   RestoreInfo restore_info_;
+  // Observability plane (null = detached; zero publish cost beyond a branch).
+  ObservabilityHub* obs_hub_ = nullptr;
+  bool obs_started_ = false;  // consumer loop entered
+  std::uint64_t start_unix_s_ = 0;
+  std::chrono::steady_clock::time_point start_steady_{};
+  static constexpr std::uint64_t kLoopsPublishEvery = 8;
+  static constexpr std::size_t kLoopsPublishMax = 4096;
   // Effective per-epoch drain limit (batch_size, widened at tier >= 2).
   std::size_t batch_limit_ = 0;
   std::map<std::string, std::uint64_t> failpoint_reported_;
@@ -201,6 +223,8 @@ class Daemon {
   telemetry::Gauge* m_ring_occupancy_ = nullptr;
   telemetry::Histogram* m_epoch_ns_ = nullptr;
   telemetry::Histogram* m_batch_size_ = nullptr;
+  telemetry::Gauge* m_uptime_s_ = nullptr;
+  telemetry::Gauge* m_last_packet_ts_s_ = nullptr;
 };
 
 }  // namespace rloop::daemon

@@ -1,0 +1,70 @@
+#include "telemetry/build_info.h"
+
+namespace rloop::telemetry {
+
+namespace {
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RLOOP_ASAN_ACTIVE 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define RLOOP_TSAN_ACTIVE 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define RLOOP_ASAN_ACTIVE 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define RLOOP_TSAN_ACTIVE 1
+#endif
+
+const char* sanitizer_flavor() {
+#if defined(RLOOP_ASAN_ACTIVE)
+  return "address,undefined";
+#elif defined(RLOOP_TSAN_ACTIVE)
+  return "thread";
+#else
+  return "none";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = {
+#if defined(RLOOP_VERSION)
+      RLOOP_VERSION,
+#else
+      "dev",
+#endif
+#if defined(RLOOP_GIT_SHA)
+      RLOOP_GIT_SHA,
+#else
+      "unknown",
+#endif
+      sanitizer_flavor(),
+#if defined(RLOOP_FAILPOINTS)
+      "on",
+#else
+      "off",
+#endif
+  };
+  return info;
+}
+
+Gauge* register_build_info(Registry* registry) {
+  if (!registry) return nullptr;
+  const BuildInfo& info = build_info();
+  Gauge* g = registry->gauge(
+      "rloop_build_info",
+      {{"version", info.version},
+       {"git_sha", info.git_sha},
+       {"sanitizers", info.sanitizers},
+       {"failpoints", info.failpoints}},
+      "Constant 1; labels identify the running build (join target)");
+  g->set(1);
+  return g;
+}
+
+}  // namespace rloop::telemetry

@@ -1,0 +1,36 @@
+// Build identity as a metric: `rloop_build_info{...} 1`.
+//
+// The Prometheus idiom for "which binary is this" is a constant gauge of
+// value 1 whose labels carry the identity — version, git sha, and the build
+// flavors that change behavior (sanitizers, failpoint sites). Joining on it
+// in PromQL annotates any other series with the build that produced it, and
+// a fleet dashboard can count binaries per version with sum by (git_sha).
+//
+// The values are baked in at compile time (RLOOP_GIT_SHA / RLOOP_VERSION
+// come from CMake; sanitizer and failpoint flags from the compiler's own
+// predefines), so the gauge is truthful for the binary actually running,
+// not for whatever the source tree looks like at scrape time.
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.h"
+
+namespace rloop::telemetry {
+
+struct BuildInfo {
+  std::string version;     // RLOOP_VERSION (CMake project version)
+  std::string git_sha;     // short sha at configure time, "unknown" outside git
+  std::string sanitizers;  // "address,undefined", "thread", or "none"
+  std::string failpoints;  // "on" when RLOOP_FAILPOINTS sites are compiled in
+};
+
+// The identity of this binary (values fixed at compile time).
+const BuildInfo& build_info();
+
+// Registers rloop_build_info{version=,git_sha=,sanitizers=,failpoints=} = 1
+// in `registry` (no-op on null). Idempotent — re-registration returns the
+// same gauge. Returns the gauge for tests.
+Gauge* register_build_info(Registry* registry);
+
+}  // namespace rloop::telemetry

@@ -26,6 +26,7 @@ const char* type_name(MetricType t) {
     case MetricType::counter: return "counter";
     case MetricType::gauge: return "gauge";
     case MetricType::histogram: return "histogram";
+    case MetricType::summary: return "summary";
   }
   return "untyped";
 }
@@ -136,6 +137,16 @@ std::string to_prometheus(const std::vector<MetricSnapshot>& snaps) {
              render_number(snap.sum) + "\n";
       out += snap.name + "_count" + render_labels(snap.labels) + " " +
              render_number(static_cast<double>(snap.count)) + "\n";
+    } else if (snap.type == MetricType::summary) {
+      for (const auto& [q, v] : snap.quantiles) {
+        out += snap.name + render_labels_with(snap.labels, "quantile",
+                                              render_number(q)) +
+               " " + render_number(v) + "\n";
+      }
+      out += snap.name + "_sum" + render_labels(snap.labels) + " " +
+             render_number(snap.sum) + "\n";
+      out += snap.name + "_count" + render_labels(snap.labels) + " " +
+             render_number(static_cast<double>(snap.count)) + "\n";
     } else {
       out += snap.name + render_labels(snap.labels) + " " +
              render_number(snap.value) + "\n";
@@ -160,7 +171,19 @@ std::string to_json(const std::vector<MetricSnapshot>& snaps) {
       }
       out += '}';
     }
-    if (snap.type == MetricType::histogram) {
+    if (snap.type == MetricType::summary) {
+      out += ",\"count\":" + render_number(static_cast<double>(snap.count));
+      out += ",\"sum\":" + render_number(snap.sum);
+      out += ",\"quantiles\":{";
+      for (std::size_t j = 0; j < snap.quantiles.size(); ++j) {
+        if (j) out += ',';
+        out += "\"" + render_number(snap.quantiles[j].first) + "\":" +
+               (std::isfinite(snap.quantiles[j].second)
+                    ? render_number(snap.quantiles[j].second)
+                    : std::string("null"));
+      }
+      out += '}';
+    } else if (snap.type == MetricType::histogram) {
       out += ",\"count\":" + render_number(static_cast<double>(snap.count));
       out += ",\"sum\":" + render_number(snap.sum);
       out += ",\"bounds\":[";

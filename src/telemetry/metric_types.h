@@ -15,7 +15,7 @@
 
 namespace rloop::telemetry {
 
-enum class MetricType : std::uint8_t { counter, gauge, histogram };
+enum class MetricType : std::uint8_t { counter, gauge, histogram, summary };
 
 // Ordered (key, value) pairs. Registry sorts by key on registration, so two
 // label sets written in different order are the same metric.
@@ -38,6 +38,12 @@ struct MetricSnapshot {
   std::vector<std::uint64_t> buckets;
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  // summary only: (quantile rank, estimated value) pairs, rank ascending.
+  // Summaries are never live metrics — the Registry only hands out counters,
+  // gauges and histograms; summary snapshots are derived at export time from
+  // histogram snapshots (telemetry/quantiles.h), so they need no atomics.
+  std::vector<std::pair<double, double>> quantiles;
 };
 
 }  // namespace rloop::telemetry

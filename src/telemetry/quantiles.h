@@ -1,0 +1,130 @@
+// Mergeable fixed-bucket quantile estimation over histogram snapshots.
+//
+// The repo's histograms are fixed-boundary (counter.h): observe() is a
+// lock-free bucket increment, and a snapshot is (bounds, per-bucket counts).
+// That representation is *mergeable* — two histograms with identical bounds
+// merge by adding their bucket vectors, which is how per-shard latency
+// histograms combine into one fleet view — and it supports quantile
+// estimation with a hard, statable error bound:
+//
+//   The q-quantile lies in the bucket whose cumulative count first reaches
+//   ceil(q * count). We interpolate linearly inside that bucket, so the
+//   estimate is exact to within one bucket width. With the exponential
+//   bounds used for latency (factor 4), that is a worst-case relative error
+//   of 4x on the raw estimate — coarse, but monotone and cheap, and the
+//   same trade Prometheus' histogram_quantile() makes. Tighter buckets buy
+//   tighter answers without touching this code.
+//
+// summarize_histograms() derives a Prometheus *summary* family
+// `<name>_quantiles{quantile="0.5|0.95|0.99"}` from every histogram in a
+// snapshot vector, which is how /metrics answers "what is p99 epoch latency"
+// without the scraper needing histogram_quantile() support.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/metric_types.h"
+
+namespace rloop::telemetry {
+
+// Estimated q-quantile (0 < q < 1) of a fixed-bucket histogram given
+// non-cumulative per-bucket counts (buckets.size() == bounds.size() + 1,
+// final bucket = +Inf overflow). Returns NaN for an empty histogram.
+//
+// Interpolation: within the containing bucket [lo, hi] the estimate moves
+// linearly with the rank. The +Inf overflow bucket has no upper edge, so
+// ranks landing there return the highest finite bound (the estimator never
+// invents a value larger than anything it can know).
+inline double estimate_quantile(const std::vector<double>& bounds,
+                                const std::vector<std::uint64_t>& buckets,
+                                double q) {
+  if (buckets.size() != bounds.size() + 1) {
+    throw std::invalid_argument(
+        "quantiles: buckets.size() must be bounds.size() + 1");
+  }
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("quantiles: q must be in (0, 1)");
+  }
+  std::uint64_t count = 0;
+  for (const std::uint64_t b : buckets) count += b;
+  if (count == 0) return std::nan("");
+
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t prev = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds.size()) {
+      // Overflow bucket: clamp to the largest finite boundary.
+      return bounds.empty() ? std::nan("") : bounds.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    if (buckets[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? std::nan("") : bounds.back();
+}
+
+// Merges histogram snapshot `from` into `into` (same metric observed by two
+// shards / two processes). Requires identical bounds; sums buckets, count
+// and sum. The merged histogram answers quantile queries for the union of
+// observations — the property that makes fixed buckets the right estimator
+// for a sharded or fleet-aggregated detector.
+inline void merge_histogram(MetricSnapshot& into, const MetricSnapshot& from) {
+  if (into.type != MetricType::histogram ||
+      from.type != MetricType::histogram || into.bounds != from.bounds ||
+      into.buckets.size() != from.buckets.size()) {
+    throw std::invalid_argument(
+        "quantiles: merge requires histograms with identical bounds");
+  }
+  for (std::size_t i = 0; i < into.buckets.size(); ++i) {
+    into.buckets[i] += from.buckets[i];
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+}
+
+// Default ranks exported for every latency histogram.
+inline const std::vector<double>& default_quantile_ranks() {
+  static const std::vector<double> ranks = {0.5, 0.95, 0.99};
+  return ranks;
+}
+
+// Derives one summary snapshot per histogram in `snaps`, named
+// `<histogram name>_quantiles`, carrying (rank, estimate) pairs plus the
+// histogram's sum/count. Histograms with zero observations are skipped
+// (a NaN sample would be legal Prometheus but useless). Non-histogram
+// entries are ignored.
+inline std::vector<MetricSnapshot> summarize_histograms(
+    const std::vector<MetricSnapshot>& snaps,
+    const std::vector<double>& ranks = default_quantile_ranks()) {
+  std::vector<MetricSnapshot> out;
+  for (const auto& snap : snaps) {
+    if (snap.type != MetricType::histogram || snap.count == 0) continue;
+    MetricSnapshot summary;
+    summary.name = snap.name + "_quantiles";
+    summary.labels = snap.labels;
+    summary.type = MetricType::summary;
+    summary.help = "Estimated quantiles (fixed-bucket interpolation, exact "
+                   "to one bucket width) of " +
+                   snap.name;
+    summary.count = snap.count;
+    summary.sum = snap.sum;
+    for (const double q : ranks) {
+      summary.quantiles.emplace_back(
+          q, estimate_quantile(snap.bounds, snap.buckets, q));
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace rloop::telemetry

@@ -39,6 +39,7 @@ Registry::Entry& Registry::find_or_create(std::string_view name,
     entry.name = std::string(name);
     entry.labels = labels;
     entry.help = std::string(help);
+    ++generation_;
   } else if (entry.type != type) {
     throw std::invalid_argument("telemetry: metric '" + key +
                                 "' re-registered as a different type");
@@ -115,6 +116,11 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
 std::size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return metrics_.size();
+}
+
+std::uint64_t Registry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 }  // namespace rloop::telemetry

@@ -46,10 +46,19 @@ class Registry {
                        LabelSet labels = {}, std::string_view help = "");
 
   // Point-in-time copy of every metric, sorted by (name, labels) so export
-  // output is deterministic.
+  // output is deterministic. Safe to call concurrently with registration
+  // from other threads (both serialize on the registry mutex; Entry
+  // addresses never move), so an HTTP exporter thread can snapshot while
+  // the consumer thread registers a late metric — covered by the TSan
+  // export-vs-register hammer in tests/test_registry_race.cc.
   std::vector<MetricSnapshot> snapshot() const;
 
   std::size_t size() const;
+
+  // Monotonic count of successful new registrations. Unchanged generation
+  // between two snapshots means the metric *set* is identical (values may
+  // differ), which lets an exporter cache name/label rendering.
+  std::uint64_t generation() const;
 
  private:
   struct Entry {
@@ -69,6 +78,7 @@ class Registry {
   // Keyed by name + rendered label set; std::map keeps snapshots sorted and
   // never invalidates Entry addresses (metrics live for the Registry's life).
   std::map<std::string, Entry> metrics_;
+  std::uint64_t generation_ = 0;
 };
 
 // Null-tolerant resolve helpers, mirroring counter.h's update helpers.

@@ -35,6 +35,8 @@
 //   daemon.ring.pop       consumer: the drained batch is discarded unseen
 //   daemon.epoch          per-epoch anchor; no-op on trip (kill target)
 //   daemon.config.reload  reload treated as an unreadable file
+//   daemon.governor.degrade  injected overload: escalate straight to
+//                            sample_suspects (the /readyz 503 drill)
 //   daemon.checkpoint.write  checkpoint write fails (counted, state kept)
 //   streaming.insert      detector insert throws std::bad_alloc
 //   pcap.read             record read treated as a truncated capture

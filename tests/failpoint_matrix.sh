@@ -30,7 +30,8 @@ run_site() {
 SCEN="--scenario ddos_burst --seed 0 --speed max --policy drop-newest --quiet"
 
 for site in daemon.ring.push daemon.ring.pop daemon.epoch \
-            streaming.insert arena.alloc flat_map.grow; do
+            daemon.governor.degrade streaming.insert arena.alloc \
+            flat_map.grow; do
   run_site "$site=trip@nth:5" $SCEN --alerts-out "$WORK/alerts.txt"
 done
 

@@ -1,0 +1,43 @@
+// Stdin format validator for the CI scrape-smoke job: feeds curl output
+// through the same strict parsers the unit tests use.
+//
+//   format_check prom < metrics.txt   # Prometheus text exposition 0.0.4
+//   format_check json < status.json   # strict JSON (RFC 8259 subset)
+//
+// Exit 0 on valid input, 1 with a diagnostic on stderr otherwise.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "json_lite.h"
+#include "prom_lite.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s prom|json < input\n", argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  const std::string input = buf.str();
+
+  std::string error;
+  bool ok = false;
+  if (mode == "prom") {
+    ok = rloop::testing::is_valid_prometheus(input, &error);
+  } else if (mode == "json") {
+    ok = rloop::testing::is_valid_json(input, &error);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s' (want prom|json)\n", mode.c_str());
+    return 2;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "%s: invalid %s: %s\n", argv[0], mode.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  return 0;
+}

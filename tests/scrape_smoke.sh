@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Scrape smoke test: boot rloopd with the observability plane on an
+# ephemeral port, hit all six endpoints with curl, validate every payload
+# with the strict conformance parsers (format_check), and verify a clean
+# SIGTERM drain. This is the CI scrape-smoke job; it also runs under ctest.
+#
+#   scrape_smoke.sh <path-to-rloopd> <path-to-format_check>
+set -u
+
+RLOOPD="${1:?usage: scrape_smoke.sh <rloopd> <format_check>}"
+FORMAT_CHECK="${2:?usage: scrape_smoke.sh <rloopd> <format_check>}"
+
+if ! command -v curl >/dev/null 2>&1; then
+  echo "SKIP: curl not available" >&2
+  exit 77
+fi
+
+WORK="$(mktemp -d)"
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- rloopd stderr ---" >&2
+  cat "$WORK/stderr.log" >&2 2>/dev/null
+  exit 1
+}
+
+# Paced realtime replay of a ~55 s scenario: the daemon stays up for the
+# whole scrape and is then stopped by SIGTERM, never by source exhaustion.
+"$RLOOPD" --source scenario --scenario ddos_burst --speed 1 \
+  --http-port 0 --quiet \
+  >"$WORK/stdout.log" 2>"$WORK/stderr.log" &
+PID=$!
+
+# The ephemeral port is announced on stderr.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^rloopd: http listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+    "$WORK/stderr.log" 2>/dev/null | head -n 1)"
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2>/dev/null || fail "rloopd exited during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] && echo "scrape_smoke: rloopd up on port $PORT (pid $PID)" \
+  || fail "no 'http listening' line within 10s"
+BASE="http://127.0.0.1:$PORT"
+
+# fetch <path> <expected-status> <out-file>
+fetch() {
+  local path="$1" want="$2" out="$3" code
+  code="$(curl -s -o "$out" -w '%{http_code}' --max-time 10 "$BASE$path")" \
+    || fail "curl $path failed"
+  [ "$code" = "$want" ] || fail "$path returned $code, want $want"
+}
+
+fetch /healthz 200 "$WORK/healthz.txt"
+grep -q "ok" "$WORK/healthz.txt" || fail "/healthz body: $(cat "$WORK/healthz.txt")"
+
+# /readyz flips to 200 once the consumer loop has started; allow a moment.
+READY=""
+for _ in $(seq 1 50); do
+  if [ "$(curl -s -o "$WORK/readyz.txt" -w '%{http_code}' --max-time 10 \
+      "$BASE/readyz")" = "200" ]; then
+    READY=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$READY" ] || fail "/readyz never reached 200: $(cat "$WORK/readyz.txt")"
+
+fetch /metrics 200 "$WORK/metrics.txt"
+"$FORMAT_CHECK" prom <"$WORK/metrics.txt" \
+  || fail "/metrics failed Prometheus conformance"
+grep -q '^rloop_build_info{' "$WORK/metrics.txt" \
+  || fail "/metrics missing rloop_build_info"
+grep -q '^rloop_daemon_ring_pushed_total ' "$WORK/metrics.txt" \
+  || fail "/metrics missing daemon families"
+
+fetch /status 200 "$WORK/status.json"
+"$FORMAT_CHECK" json <"$WORK/status.json" || fail "/status is not strict JSON"
+grep -q '"started":true' "$WORK/status.json" \
+  || fail "/status does not report started"
+
+fetch /loops 200 "$WORK/loops.json"
+"$FORMAT_CHECK" json <"$WORK/loops.json" || fail "/loops is not strict JSON"
+
+fetch /nope 404 "$WORK/nope.txt"
+
+# /events is an endless SSE stream: sample it for 2 s and check the
+# handshake comment arrived (alert frames depend on scenario timing).
+curl -s --max-time 2 "$BASE/events" >"$WORK/events.txt"
+grep -q '^: rloopd event stream' "$WORK/events.txt" \
+  || fail "/events missing handshake comment: $(head -c 200 "$WORK/events.txt")"
+
+# Clean drain: SIGTERM must produce exit 0.
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+[ "$EXIT" = "0" ] || fail "rloopd exited $EXIT after SIGTERM"
+PID=""
+
+echo "scrape_smoke: OK (all endpoints conformant, clean drain)"
+exit 0

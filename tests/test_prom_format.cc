@@ -1,0 +1,200 @@
+// Prometheus exposition conformance: the hand-rendered /metrics output must
+// survive a strict format parser (prom_lite.h), and the parser itself must
+// actually reject the malformations it claims to.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "prom_lite.h"
+#include "telemetry/build_info.h"
+#include "telemetry/counter.h"
+#include "telemetry/exporter.h"
+#include "telemetry/quantiles.h"
+#include "telemetry/registry.h"
+
+namespace rloop::telemetry {
+namespace {
+
+using rloop::testing::PromFamily;
+using rloop::testing::is_valid_prometheus;
+using rloop::testing::parse_prometheus;
+
+// A registry shaped like the daemon's: counters (with and without labels),
+// a gauge, histograms, plus the derived quantile summaries and build info.
+std::string render_full_registry() {
+  Registry registry;
+  register_build_info(&registry);
+  registry.counter("rloop_test_packets_total", {}, "Packets seen")->inc(42);
+  registry
+      .counter("rloop_failpoint_trips_total", {{"name", "daemon.epoch"}},
+               "Failpoint trips by site name")
+      ->inc(1);
+  registry
+      .counter("rloop_failpoint_trips_total", {{"name", "daemon.ring.push"}},
+               "Failpoint trips by site name")
+      ->inc(2);
+  registry.gauge("rloop_test_ring_occupancy", {}, "Ring occupancy")->set(7);
+  Histogram* h = registry.histogram("rloop_test_epoch_latency_ns",
+                                    {1e3, 4e3, 1.6e4}, {}, "Epoch latency");
+  for (int i = 0; i < 1000; ++i) h->observe(2.0e3);
+  h->observe(1.0e9);  // overflow bucket
+  registry
+      .gauge("rloop_test_escaped", {{"path", "a\\b\"c\nd"}},
+             "Label escaping round-trip")
+      ->set(1);
+
+  auto snaps = registry.snapshot();
+  auto summaries = summarize_histograms(snaps);
+  for (auto& s : summaries) snaps.push_back(std::move(s));
+  std::stable_sort(snaps.begin(), snaps.end(),
+                   [](const MetricSnapshot& a, const MetricSnapshot& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return to_prometheus(snaps);
+}
+
+TEST(PromFormat, FullRegistryExportIsConformant) {
+  const std::string text = render_full_registry();
+  std::map<std::string, PromFamily> families;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(text, &families, &error)) << error << "\n"
+                                                         << text;
+
+  // Families landed with the right types and HELP/TYPE exactly once each
+  // (the parser rejects duplicates, so presence == exactly once).
+  EXPECT_EQ(families.at("rloop_test_packets_total").type, "counter");
+  EXPECT_EQ(families.at("rloop_test_epoch_latency_ns").type, "histogram");
+  EXPECT_EQ(families.at("rloop_test_epoch_latency_ns_quantiles").type,
+            "summary");
+  EXPECT_EQ(families.at("rloop_build_info").type, "gauge");
+
+  // Both label sets of the failpoint counter share one family.
+  EXPECT_EQ(families.at("rloop_failpoint_trips_total").samples.size(), 2u);
+
+  // Summary carries the three default ranks.
+  const auto& summary = families.at("rloop_test_epoch_latency_ns_quantiles");
+  int quantile_samples = 0;
+  for (const auto& sample : summary.samples) {
+    for (const auto& [k, v] : sample.labels) {
+      if (k == "quantile") ++quantile_samples;
+    }
+  }
+  EXPECT_EQ(quantile_samples, 3);
+
+  // build_info is the constant-1 join target.
+  const auto& build = families.at("rloop_build_info");
+  ASSERT_EQ(build.samples.size(), 1u);
+  EXPECT_EQ(build.samples[0].value, 1.0);
+  EXPECT_EQ(build.samples[0].labels.size(), 4u);
+}
+
+TEST(PromFormat, EscapedLabelValuesRoundTrip) {
+  const std::string text = render_full_registry();
+  std::map<std::string, PromFamily> families;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(text, &families, &error)) << error;
+  const auto& samples = families.at("rloop_test_escaped").samples;
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples[0].labels.size(), 1u);
+  EXPECT_EQ(samples[0].labels[0].second, "a\\b\"c\nd");
+}
+
+TEST(PromFormat, EmptyExportIsValid) {
+  EXPECT_TRUE(is_valid_prometheus(""));
+  EXPECT_TRUE(is_valid_prometheus(to_prometheus({})));
+}
+
+// --- parser teeth: each malformation must be rejected -----------------------
+
+TEST(PromFormat, RejectsMissingHelpOrType) {
+  EXPECT_FALSE(is_valid_prometheus("# TYPE a counter\na 1\n"));  // no HELP
+  EXPECT_FALSE(is_valid_prometheus("# HELP a h\na 1\n"));        // no TYPE
+  EXPECT_TRUE(is_valid_prometheus("# HELP a h\n# TYPE a counter\na 1\n"));
+}
+
+TEST(PromFormat, RejectsDuplicateHelpAndType) {
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# HELP a again\n# TYPE a counter\na 1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\n# TYPE a counter\na 1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na 1\n# HELP a late\n"));
+}
+
+TEST(PromFormat, RejectsInterleavedFamilies) {
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\n# HELP b h\n# TYPE b counter\n"
+      "a 1\nb 1\na{x=\"y\"} 2\n"));
+}
+
+TEST(PromFormat, RejectsBadNamesAndLabels) {
+  EXPECT_FALSE(is_valid_prometheus("# HELP 1a h\n# TYPE 1a counter\n1a 1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na{1x=\"v\"} 1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na{__x=\"v\"} 1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na{x=v} 1\n"));  // unquoted
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na{x=\"v\\q\"} 1\n"));  // bad escape
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na{x=\"v\",x=\"w\"} 1\n"));  // dup label
+}
+
+TEST(PromFormat, RejectsBadValues) {
+  EXPECT_FALSE(is_valid_prometheus("# HELP a h\n# TYPE a counter\na one\n"));
+  EXPECT_FALSE(is_valid_prometheus("# HELP a h\n# TYPE a counter\na -1\n"));
+  EXPECT_FALSE(is_valid_prometheus(
+      "# HELP a h\n# TYPE a counter\na 1 1700000000\n"));  // timestamp
+  EXPECT_TRUE(is_valid_prometheus("# HELP a h\n# TYPE a gauge\na -1\n"));
+  EXPECT_TRUE(is_valid_prometheus("# HELP a h\n# TYPE a gauge\na +Inf\n"));
+}
+
+TEST(PromFormat, RejectsMalformedHistograms) {
+  const std::string head = "# HELP h h\n# TYPE h histogram\n";
+  // Well-formed.
+  EXPECT_TRUE(is_valid_prometheus(
+      head + "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\n"
+             "h_count 2\n"));
+  // Non-cumulative buckets.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\n"
+             "h_count 2\n"));
+  // Missing +Inf.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket{le=\"1\"} 1\nh_sum 3\nh_count 1\n"));
+  // +Inf bucket != count.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n"));
+  // Missing _sum.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket{le=\"+Inf\"} 2\nh_count 2\n"));
+  // Bucket without le.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket 2\nh_sum 3\nh_count 2\n"));
+  // Foreign series under a histogram family.
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\nh_extra 1\n"));
+}
+
+TEST(PromFormat, RejectsMalformedSummaries) {
+  const std::string head = "# HELP s s\n# TYPE s summary\n";
+  EXPECT_TRUE(is_valid_prometheus(
+      head + "s{quantile=\"0.5\"} 10\ns_sum 20\ns_count 2\n"));
+  // Quantile outside [0,1].
+  EXPECT_FALSE(is_valid_prometheus(
+      head + "s{quantile=\"1.5\"} 10\ns_sum 20\ns_count 2\n"));
+  // Missing quantile label.
+  EXPECT_FALSE(
+      is_valid_prometheus(head + "s 10\ns_sum 20\ns_count 2\n"));
+  // Missing _count.
+  EXPECT_FALSE(is_valid_prometheus(head + "s{quantile=\"0.5\"} 10\ns_sum 20\n"));
+}
+
+TEST(PromFormat, RejectsMissingFinalNewline) {
+  EXPECT_FALSE(is_valid_prometheus("# HELP a h\n# TYPE a counter\na 1"));
+}
+
+}  // namespace
+}  // namespace rloop::telemetry

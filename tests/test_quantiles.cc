@@ -1,0 +1,144 @@
+// Quantile estimation over fixed-bucket histograms (telemetry/quantiles.h):
+// interpolation exactness within one bucket, the +Inf clamp, merge
+// semantics, and the derived-summary export path.
+#include "telemetry/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/counter.h"
+#include "telemetry/registry.h"
+
+namespace rloop::telemetry {
+namespace {
+
+TEST(Quantiles, RejectsMalformedInput) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> ok = {1, 1, 1};
+  EXPECT_THROW(estimate_quantile(bounds, {1, 1}, 0.5), std::invalid_argument);
+  EXPECT_THROW(estimate_quantile(bounds, ok, 0.0), std::invalid_argument);
+  EXPECT_THROW(estimate_quantile(bounds, ok, 1.0), std::invalid_argument);
+  EXPECT_THROW(estimate_quantile(bounds, ok, -0.5), std::invalid_argument);
+}
+
+TEST(Quantiles, EmptyHistogramIsNaN) {
+  EXPECT_TRUE(std::isnan(estimate_quantile({1.0, 2.0}, {0, 0, 0}, 0.5)));
+}
+
+TEST(Quantiles, InterpolatesLinearlyInsideBucket) {
+  // 10 observations uniform in [0, 10): the median interpolates to the
+  // middle of the single occupied bucket.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::uint64_t> buckets = {10, 0, 0};
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, buckets, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, buckets, 0.9), 9.0);
+
+  // Second bucket [10, 20): rank falls there once q crosses the first
+  // bucket's mass.
+  const std::vector<std::uint64_t> split = {5, 5, 0};
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, split, 0.75), 15.0);
+}
+
+TEST(Quantiles, EstimateIsWithinOneBucketWidthOfTruth) {
+  // 1000 observations of value v = i (uniform 0..999) into decade buckets.
+  const std::vector<double> bounds = {1, 10, 100, 1000, 10000};
+  std::vector<std::uint64_t> buckets(bounds.size() + 1, 0);
+  auto bucket_of = [&](double v) {
+    std::size_t i = 0;
+    while (i < bounds.size() && v > bounds[i]) ++i;
+    return i;
+  };
+  for (int i = 0; i < 1000; ++i) buckets[bucket_of(i)]++;
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = q * 1000.0;
+    const double estimate = estimate_quantile(bounds, buckets, q);
+    // Containing bucket for all three ranks is (100, 1000]: error bound is
+    // that bucket's width.
+    EXPECT_NEAR(estimate, exact, 900.0) << "q=" << q;
+    EXPECT_GT(estimate, 100.0) << "q=" << q;
+    EXPECT_LE(estimate, 1000.0) << "q=" << q;
+  }
+}
+
+TEST(Quantiles, OverflowBucketClampsToLargestBound) {
+  const std::vector<double> bounds = {1.0, 8.0};
+  const std::vector<std::uint64_t> buckets = {0, 0, 7};  // all overflow
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, buckets, 0.5), 8.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(bounds, buckets, 0.99), 8.0);
+}
+
+TEST(Quantiles, MonotoneInQ) {
+  const std::vector<double> bounds = {1, 4, 16, 64};
+  const std::vector<std::uint64_t> buckets = {3, 9, 4, 2, 1};
+  double prev = 0;
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    const double est = estimate_quantile(bounds, buckets, q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+  }
+}
+
+TEST(Quantiles, MergeSumsBucketsAndRequiresIdenticalBounds) {
+  MetricSnapshot a;
+  a.type = MetricType::histogram;
+  a.bounds = {1.0, 2.0};
+  a.buckets = {1, 2, 3};
+  a.count = 6;
+  a.sum = 10.0;
+  MetricSnapshot b = a;
+  b.buckets = {4, 0, 1};
+  b.count = 5;
+  b.sum = 3.5;
+
+  merge_histogram(a, b);
+  EXPECT_EQ(a.buckets, (std::vector<std::uint64_t>{5, 2, 4}));
+  EXPECT_EQ(a.count, 11u);
+  EXPECT_DOUBLE_EQ(a.sum, 13.5);
+
+  // The merged histogram answers quantiles for the union: the median rank
+  // (5.5 of 11) falls 0.5 deep into the second bucket (1, 2] of mass 2 —
+  // 1 + (5.5 - 5)/2 = 1.25.
+  EXPECT_DOUBLE_EQ(estimate_quantile(a.bounds, a.buckets, 0.5), 1.25);
+
+  MetricSnapshot mismatched = b;
+  mismatched.bounds = {1.0, 3.0};
+  EXPECT_THROW(merge_histogram(a, mismatched), std::invalid_argument);
+  MetricSnapshot not_histogram;
+  not_histogram.type = MetricType::counter;
+  EXPECT_THROW(merge_histogram(a, not_histogram), std::invalid_argument);
+}
+
+TEST(Quantiles, SummarizeDerivesSummariesFromLiveRegistry) {
+  Registry registry;
+  Histogram* h = registry.histogram("rloop_test_latency_ns", {10, 100, 1000},
+                                    {{"stage", "parse"}}, "test latency");
+  for (int i = 0; i < 100; ++i) h->observe(50.0);
+  registry.counter("rloop_test_total", {}, "a counter")->inc();
+  registry.histogram("rloop_test_empty_ns", {1, 2}, {}, "never observed");
+
+  const auto snaps = registry.snapshot();
+  const auto summaries = summarize_histograms(snaps);
+
+  // Only the observed histogram produces a summary; counters and empty
+  // histograms are skipped.
+  ASSERT_EQ(summaries.size(), 1u);
+  const auto& s = summaries[0];
+  EXPECT_EQ(s.name, "rloop_test_latency_ns_quantiles");
+  EXPECT_EQ(s.type, MetricType::summary);
+  ASSERT_EQ(s.labels.size(), 1u);
+  EXPECT_EQ(s.labels[0].second, "parse");
+  EXPECT_EQ(s.count, 100u);
+  ASSERT_EQ(s.quantiles.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.quantiles[0].first, 0.5);
+  EXPECT_DOUBLE_EQ(s.quantiles[1].first, 0.95);
+  EXPECT_DOUBLE_EQ(s.quantiles[2].first, 0.99);
+  for (const auto& [q, v] : s.quantiles) {
+    // All observations sit in bucket (10, 100].
+    EXPECT_GT(v, 10.0) << "q=" << q;
+    EXPECT_LE(v, 100.0) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace rloop::telemetry
