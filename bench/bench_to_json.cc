@@ -15,11 +15,21 @@
 //
 //   bench_to_json --baseline bench/BENCH_pipeline.baseline.json
 //
+// Two absolute gates ride along when --baseline is given (both same-run
+// comparisons, so machine speed cancels out):
+//  - parallel4 must beat serial by >= 2x. Skipped with a warning when the
+//    runner has fewer than 4 hardware threads — the claim is about scaling,
+//    and a 1-2 core box cannot exhibit it.
+//  - the warm parallel4 run must allocate no more per packet than serial
+//    (the persistent PipelineWorkspace makes the staged dataflow's steady
+//    state allocation-free; tests/test_memory_layout.cc pins the same).
+//
 // The baseline lives in the repo (bench/BENCH_pipeline.baseline.json).
 // Refresh it — on quiet hardware, best of several runs — whenever an
 // intentional performance change shifts the numbers:
 //
-//   build/bench/bench_to_json --out bench/BENCH_pipeline.baseline.json
+//   cmake --build build -j && build/bench/bench_to_json \
+//       --repetitions 7 --out bench/BENCH_pipeline.baseline.json
 #include <sys/resource.h>
 
 #include <atomic>
@@ -38,6 +48,7 @@
 
 #include "common.h"
 #include "core/loop_detector.h"
+#include "core/pipeline.h"
 #include "daemon/daemon.h"
 #include "daemon/observability.h"
 #include "net/http_server.h"
@@ -322,9 +333,15 @@ int main(int argc, char** argv) {
   rloop::core::LoopDetectorConfig serial_config;
   const auto serial = measure(trace, serial_config, repetitions);
 
+  // The workspace persists across repetitions, so every rep after the first
+  // measures the warm steady state: pool, SoA columns, batch rings, detect
+  // states and validator/merger scratch all reused. allocs_per_packet keeps
+  // the LAST rep's count, i.e. the warm figure the parity gate below pins.
+  rloop::core::PipelineWorkspace workspace;
   rloop::core::LoopDetectorConfig parallel_config;
   parallel_config.parallel.num_threads = 4;
   parallel_config.parallel.shard_bits = 4;
+  parallel_config.workspace = &workspace;
   const auto parallel = measure(trace, parallel_config, repetitions);
 
   double daemon1_cpu = 0.0;
@@ -391,6 +408,9 @@ int main(int argc, char** argv) {
   ok &= check_regression("serial_allocs_per_packet",
                          json_number(baseline, "serial_allocs_per_packet"),
                          serial.allocs_per_packet, tolerance);
+  ok &= check_regression("parallel4_allocs_per_packet",
+                         json_number(baseline, "parallel4_allocs_per_packet"),
+                         parallel.allocs_per_packet, tolerance);
   ok &= check_regression("daemon1_ns_per_packet",
                          json_number(baseline, "daemon1_ns_per_packet"),
                          daemon1, tolerance);
@@ -440,6 +460,40 @@ int main(int argc, char** argv) {
               << daemon1_cpu << " ns/pkt; limit " << limit_ns / 1e6
               << " ms = 3% of daemon1 CPU + 1 ms grace)\n";
     ok &= http_ok;
+  }
+
+  // The scaling claim, same-run so machine speed cancels out: the staged
+  // dataflow on 4 threads must finish the trace at least twice as fast as
+  // the serial pipeline. On fewer than 4 hardware threads the claim cannot
+  // be exhibited (the threads time-slice one another), so the gate skips
+  // with a warning instead of flapping on small runners.
+  {
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double speedup = serial.ns_per_packet / parallel.ns_per_packet;
+    if (cores < 4) {
+      std::cout << "SKIP  parallel4_speedup: " << speedup << "x ("
+                << cores << " hardware thread(s) < 4 -- the >=2x gate "
+                << "needs a >=4-core runner)\n";
+    } else {
+      const bool fast = speedup >= 2.0;
+      std::cout << (fast ? "OK  " : "FAIL") << "  parallel4_speedup: "
+                << speedup << "x (serial " << serial.ns_per_packet
+                << " / parallel4 " << parallel.ns_per_packet
+                << " ns/packet, limit >= 2x)\n";
+      ok &= fast;
+    }
+  }
+
+  // Steady-state allocation parity: the warm workspace run (last rep) must
+  // allocate no more per packet than serial. Absolute, not baseline-relative
+  // — allocation counts are deterministic.
+  {
+    const bool lean = parallel.allocs_per_packet <= serial.allocs_per_packet;
+    std::cout << (lean ? "OK  " : "FAIL")
+              << "  parallel4_allocs_vs_serial: " << parallel.allocs_per_packet
+              << " (serial " << serial.allocs_per_packet
+              << ", warm parallel must not exceed it)\n";
+    ok &= lean;
   }
   return ok ? 0 : 1;
 }

@@ -30,6 +30,9 @@ rloop_bench(baseline_comparison)
 rloop_bench(ablation_detector)
 rloop_bench(micro_detector benchmark::benchmark)
 rloop_bench(memory_layout benchmark::benchmark)
+# bench_to_json doubles as the CI perf gate; its committed baseline is
+# regenerated (on quiet >=4-core hardware) with
+#   build/bench/bench_to_json --repetitions 7 --out bench/BENCH_pipeline.baseline.json
 rloop_bench(bench_to_json rloop_daemon rloop_net)
 rloop_bench(daemon_throughput benchmark::benchmark rloop_daemon)
 rloop_bench(correlation_routing rloop_correlate)

@@ -1,9 +1,7 @@
 #include "core/loop_detector.h"
 
-#include <memory>
-
+#include "core/pipeline.h"
 #include "core/record_store.h"
-#include "util/thread_pool.h"
 
 namespace rloop::core {
 
@@ -29,24 +27,25 @@ std::uint64_t LoopDetectionResult::looped_packet_records() const {
 
 LoopDetectionResult detect_loops(const net::Trace& trace,
                                  const LoopDetectorConfig& config) {
-  telemetry::Registry* reg = config.registry;
-  const bool parallel = config.parallel.enabled();
-  const unsigned num_shards = config.parallel.num_shards();
-  // The pool exists only for the duration of one parallel call; its workers
-  // park on the queue condition variable between stages.
-  std::unique_ptr<util::ThreadPool> pool;
-  if (parallel) {
-    pool = std::make_unique<util::ThreadPool>(config.parallel.num_threads,
-                                              reg, config.trace);
+  if (config.parallel.enabled()) {
+    // The staged dataflow (core/pipeline.h) replaces the old barrier-style
+    // stage sequence: ingest/parse/detect overlap per epoch instead of
+    // joining the pool between stages. A caller-provided workspace carries
+    // warm state across calls; without one the workspace lives for this call.
+    if (config.workspace != nullptr) {
+      return detect_loops_pipelined(trace, config, *config.workspace);
+    }
+    PipelineWorkspace workspace;
+    return detect_loops_pipelined(trace, config, workspace);
   }
 
+  telemetry::Registry* reg = config.registry;
   LoopDetectionResult result;
   const telemetry::ScopedSpan root_span(config.trace, "detect_loops");
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "parse"));
     const telemetry::ScopedSpan span(config.trace, "parse");
-    result.records = parallel ? parse_trace_parallel(trace, *pool)
-                              : parse_trace(trace);
+    result.records = parse_trace(trace);
     result.total_records = result.records.size();
     for (const auto& rec : result.records) {
       if (!rec.ok) ++result.parse_failures;
@@ -64,36 +63,27 @@ LoopDetectionResult detect_loops(const net::Trace& trace,
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "columnize"));
     const telemetry::ScopedSpan span(config.trace, "columnize");
-    store = parallel
-                ? RecordStore::build_parallel(trace, result.records, *pool)
-                : RecordStore::build(trace, result.records);
+    store = RecordStore::build(trace, result.records);
   }
 
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "detect"));
     const telemetry::ScopedSpan span(config.trace, "detect");
     const ReplicaDetector detector(config.detector, reg, config.journal);
-    result.raw_streams = parallel
-                             ? detector.detect_sharded(store, *pool, num_shards)
-                             : detector.detect(store);
+    result.raw_streams = detector.detect(store);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "validate"));
     const telemetry::ScopedSpan span(config.trace, "validate");
     const StreamValidator validator(config.validator, reg, config.journal);
     result.valid_streams =
-        parallel ? validator.validate_sharded(store, result.raw_streams, *pool,
-                                              num_shards, &result.validation)
-                 : validator.validate(store, result.raw_streams,
-                                      &result.validation);
+        validator.validate(store, result.raw_streams, &result.validation);
   }
   {
     const telemetry::ScopedTimer timer(stage_histogram(reg, "merge"));
     const telemetry::ScopedSpan span(config.trace, "merge");
     const StreamMerger merger(config.merger, reg, config.journal);
-    result.loops = parallel ? merger.merge_sharded(store, result.valid_streams,
-                                                   *pool, num_shards)
-                            : merger.merge(store, result.valid_streams);
+    result.loops = merger.merge(store, result.valid_streams);
   }
   return result;
 }

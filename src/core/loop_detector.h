@@ -16,6 +16,8 @@
 
 namespace rloop::core {
 
+class PipelineWorkspace;  // core/pipeline.h
+
 struct LoopDetectorConfig {
   ReplicaDetectorConfig detector;
   ValidatorConfig validator;
@@ -43,6 +45,13 @@ struct LoopDetectorConfig {
   // Optional decision journal: every stage records its per-stream /
   // per-replica-match verdicts with typed reasons (see decision_log.h).
   telemetry::DecisionLog* journal = nullptr;
+  // Optional persistent workspace for the parallel path (core/pipeline.h).
+  // The staged dataflow reuses its thread pool, SoA store, batch rings,
+  // per-shard detect states and validator/merger scratch across calls, so a
+  // warm run's steady-state allocation rate drops below the serial path's
+  // (tests/test_memory_layout.cc pins this). Null makes detect_loops()
+  // build a transient workspace per call; results are identical either way.
+  PipelineWorkspace* workspace = nullptr;
 };
 
 struct LoopDetectionResult {

@@ -28,7 +28,7 @@ void NonLoopedIndex::seal() {
   constexpr int kPasses = 3;  // 3 * 14 = 42 bits >= the 40-bit key space
   if (entries_.size() < 2) return;
 
-  std::vector<Entry> scratch(entries_.size());
+  scratch_.resize(entries_.size());
   std::array<std::uint32_t, kBuckets> histogram;
   for (int pass = 0; pass < kPasses; ++pass) {
     const int shift = pass * kRadixBits;
@@ -49,9 +49,9 @@ void NonLoopedIndex::seal() {
       offset += count;
     }
     for (const Entry& e : entries_) {
-      scratch[histogram[(e.key >> shift) & (kBuckets - 1)]++] = e;
+      scratch_[histogram[(e.key >> shift) & (kBuckets - 1)]++] = e;
     }
-    entries_.swap(scratch);
+    entries_.swap(scratch_);
   }
 }
 
@@ -79,6 +79,18 @@ NonLoopedIndex::NonLoopedIndex(const std::vector<ParsedRecord>& records,
 
 NonLoopedIndex::NonLoopedIndex(const RecordStore& store,
                                const std::vector<bool>& is_member) {
+  rebuild(store, is_member);
+}
+
+NonLoopedIndex::NonLoopedIndex(const RecordStore& store,
+                               const std::vector<bool>& is_member,
+                               unsigned shard, unsigned num_shards) {
+  rebuild(store, is_member, shard, num_shards);
+}
+
+void NonLoopedIndex::rebuild(const RecordStore& store,
+                             const std::vector<bool>& is_member) {
+  entries_.clear();
   const std::size_t n = store.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (!store.ok(i)) continue;
@@ -88,9 +100,10 @@ NonLoopedIndex::NonLoopedIndex(const RecordStore& store,
   seal();
 }
 
-NonLoopedIndex::NonLoopedIndex(const RecordStore& store,
-                               const std::vector<bool>& is_member,
-                               unsigned shard, unsigned num_shards) {
+void NonLoopedIndex::rebuild(const RecordStore& store,
+                             const std::vector<bool>& is_member,
+                             unsigned shard, unsigned num_shards) {
+  entries_.clear();
   const std::size_t n = store.size();
   for (std::size_t i = 0; i < n; ++i) {
     if (!store.ok(i)) continue;

@@ -29,6 +29,11 @@ namespace rloop::core {
 
 class NonLoopedIndex {
  public:
+  // An empty index that answers "no" to every query; fill it with rebuild().
+  // The pipeline workspace keeps one default-constructed index per shard
+  // and rebuilds it every run, reusing entry and radix-scratch capacity.
+  NonLoopedIndex() = default;
+
   // `is_member[i]` marks record i as belonging to some replica stream.
   NonLoopedIndex(const std::vector<ParsedRecord>& records,
                  const std::vector<bool>& is_member);
@@ -46,6 +51,13 @@ class NonLoopedIndex {
   NonLoopedIndex(const RecordStore& store, const std::vector<bool>& is_member);
   NonLoopedIndex(const RecordStore& store, const std::vector<bool>& is_member,
                  unsigned shard, unsigned num_shards);
+
+  // In-place equivalents of the store constructors: identical entries and
+  // order, but the entry vector and the radix-sort scratch keep their
+  // capacity from the previous build, so a warm rebuild allocates nothing.
+  void rebuild(const RecordStore& store, const std::vector<bool>& is_member);
+  void rebuild(const RecordStore& store, const std::vector<bool>& is_member,
+               unsigned shard, unsigned num_shards);
 
   // Any non-looped packet to `prefix24` with timestamp in [from, to]?
   bool any_in(const net::Prefix& prefix24, net::TimeNs from,
@@ -70,6 +82,9 @@ class NonLoopedIndex {
   void seal();  // sort by (key, ts) after the build pass
 
   std::vector<Entry> entries_;
+  // Radix-sort scatter target, kept as a member so rebuild() reuses its
+  // capacity (seal() ping-pongs entries_ and scratch_ per pass).
+  std::vector<Entry> scratch_;
 };
 
 }  // namespace rloop::core

@@ -4,9 +4,7 @@
 
 namespace rloop::core {
 
-namespace {
-
-ParsedRecord parse_one(const net::Trace& trace, std::size_t i) {
+ParsedRecord parse_record(const net::Trace& trace, std::size_t i) {
   const net::TraceRecord& raw = trace[i];
   ParsedRecord rec;
   rec.ts = raw.ts;
@@ -21,13 +19,11 @@ ParsedRecord parse_one(const net::Trace& trace, std::size_t i) {
   return rec;
 }
 
-}  // namespace
-
 std::vector<ParsedRecord> parse_trace(const net::Trace& trace) {
   std::vector<ParsedRecord> records;
   records.reserve(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    records.push_back(parse_one(trace, i));
+    records.push_back(parse_record(trace, i));
   }
   return records;
 }
@@ -46,7 +42,7 @@ std::vector<ParsedRecord> parse_trace_parallel(const net::Trace& trace,
     const std::size_t lo = t * chunk;
     const std::size_t hi = std::min(n, lo + chunk);
     for (std::size_t i = lo; i < hi; ++i) {
-      records[i] = parse_one(trace, i);
+      records[i] = parse_record(trace, i);
     }
   }, "parse_chunk");
   return records;

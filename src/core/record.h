@@ -26,6 +26,12 @@ struct ParsedRecord {
   net::Prefix dst24;  // destination /24, the aggregation unit of the paper
 };
 
+// Parses trace record `i` in isolation. Records parse independently (framing
+// happened at capture/pcap-read time), so any partition of indices across
+// workers — parse_trace_parallel's fixed chunks or the staged dataflow's
+// shard batches — reproduces parse_trace() exactly, record for record.
+ParsedRecord parse_record(const net::Trace& trace, std::size_t i);
+
 // Parses every record. Records whose IP header is malformed keep ok=false
 // and are skipped by all detector stages (but still counted).
 std::vector<ParsedRecord> parse_trace(const net::Trace& trace);

@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "core/replica_key.h"
+#include "util/simd.h"
 
 namespace rloop::core {
+
+void RecordStore::prepare(const net::Trace& trace, std::size_t n) {
+  trace_ = &trace;
+  ts_.resize(n);
+  dst_.resize(n);
+  dst24_.resize(n);
+  ttl_.resize(n);
+  ok_.resize(n);
+  key_hash_.resize(n);
+}
 
 RecordStore RecordStore::columnize(const net::Trace& trace,
                                    const std::vector<ParsedRecord>& records) {
@@ -22,8 +33,16 @@ RecordStore RecordStore::columnize(const net::Trace& trace,
     store.ts_[i] = rec.ts;
     store.ok_[i] = rec.ok ? 1 : 0;
     store.dst_[i] = rec.pkt.ip.dst.value;
-    store.dst24_[i] = rec.dst24.addr.value;
     store.ttl_[i] = rec.pkt.ip.ttl;
+  }
+  // dst24 extraction is one vectorized mask pass over the dst column: a
+  // parsed record's dst24 is Prefix::slash24(dst), i.e. dst with the low
+  // byte cleared. Records that failed to parse then get their (default
+  // prefix) value restored scalar, preserving build()'s exact bytes; the
+  // scan is branch-predictable because parse failures are rare.
+  util::simd::mask_lo8_zero(store.dst_.data(), store.dst24_.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (store.ok_[i] == 0) store.dst24_[i] = records[i].dst24.addr.value;
   }
   return store;
 }

@@ -55,6 +55,26 @@ class RecordStore {
                                     util::ThreadPool& pool,
                                     std::size_t chunk = 0);
 
+  // Staged-dataflow support (core/pipeline.cc): sizes every column for `n`
+  // records of `trace` without filling them; rows are then written by
+  // set_row, each exactly once, by the worker that owns the record
+  // (disjoint-row discipline — no two threads ever touch one index).
+  // Column capacity is reused across calls, so a persistent workspace's
+  // store allocates nothing once warm.
+  void prepare(const net::Trace& trace, std::size_t n);
+
+  // Fills row i from a parsed record plus its precomputed replica-key hash;
+  // the hash is stored only when the record parsed ok, matching build().
+  void set_row(std::size_t i, const ParsedRecord& rec,
+               std::uint64_t key_hash) {
+    ts_[i] = rec.ts;
+    ok_[i] = rec.ok ? 1 : 0;
+    dst_[i] = rec.pkt.ip.dst.value;
+    dst24_[i] = rec.dst24.addr.value;
+    ttl_[i] = rec.pkt.ip.ttl;
+    key_hash_[i] = rec.ok ? key_hash : 0;
+  }
+
   std::size_t size() const { return ts_.size(); }
   bool empty() const { return ts_.empty(); }
 

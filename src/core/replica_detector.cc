@@ -5,10 +5,16 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/detect_state.h"
 #include "util/arena.h"
 #include "util/flat_map.h"
+#include "util/simd.h"
 
 namespace rloop::core {
+
+using detail::FlatDetectState;
+using detail::LocalCounts;
+using detail::sort_streams;
 
 std::vector<int> ReplicaStream::ttl_deltas() const {
   std::vector<int> deltas;
@@ -23,12 +29,23 @@ std::vector<int> ReplicaStream::ttl_deltas() const {
 int ReplicaStream::dominant_ttl_delta() const {
   // A TTL delta fits [1, 255]; a direct-indexed counter avoids the
   // allocating ordered map this used, and the ascending scan with a strict
-  // `>` keeps the same tie-break (smallest delta wins).
+  // `>` keeps the same tie-break (smallest delta wins). The pairwise
+  // accumulation runs through the SIMD histogram kernel in 256-pair tiles
+  // gathered from the replica array (each TTL is one strided byte of a
+  // Replica), with one element of overlap so tile seams contribute their
+  // pair exactly once.
   std::array<std::uint32_t, 256> counts{};
-  for (std::size_t i = 1; i < replicas.size(); ++i) {
-    const int d = static_cast<int>(replicas[i - 1].ttl) -
-                  static_cast<int>(replicas[i].ttl);
-    if (d > 0) ++counts[static_cast<std::size_t>(d)];
+  const std::size_t n = replicas.size();
+  std::uint8_t ttls[257];
+  std::size_t i = 1;
+  while (i < n) {
+    const std::size_t pairs = std::min<std::size_t>(256, n - i);
+    ttls[0] = replicas[i - 1].ttl;
+    for (std::size_t j = 0; j < pairs; ++j) {
+      ttls[j + 1] = replicas[i + j].ttl;
+    }
+    util::simd::ttl_delta_hist(ttls, pairs + 1, counts.data());
+    i += pairs;
   }
   int best = 0;
   std::uint32_t best_count = 0;
@@ -73,269 +90,12 @@ ReplicaDetector::ReplicaDetector(ReplicaDetectorConfig config,
           telemetry::spacing_bounds_ns(), {},
           "Spacing between successive replicas of one stream")) {}
 
+// The flat engine itself (FlatDetectState and its helpers) lives in
+// core/detect_state.h: the staged dataflow in core/pipeline.cc keeps one
+// warm state per shard across runs, so it needs the type, not just the
+// detect() entry points below.
+
 namespace {
-
-struct LocalCounts {
-  std::uint64_t records = 0;
-  std::uint64_t replicas = 0;
-  std::uint64_t opened = 0;
-  std::uint64_t expired = 0;
-  std::uint64_t emitted = 0;
-
-  void add(const LocalCounts& other) {
-    records += other.records;
-    replicas += other.replicas;
-    opened += other.opened;
-    expired += other.expired;
-    emitted += other.emitted;
-  }
-};
-
-// The canonical emission order: (start, first record index) is a strict
-// total order — a record heads at most one stream — so sorted output does
-// not depend on closing order, and the sharded path's merge of per-shard
-// sorted runs reproduces the serial order exactly.
-void sort_streams(std::vector<ReplicaStream>& streams) {
-  std::sort(streams.begin(), streams.end(),
-            [](const ReplicaStream& a, const ReplicaStream& b) {
-              if (a.start() != b.start()) return a.start() < b.start();
-              return a.replicas.front().record_index <
-                     b.replicas.front().record_index;
-            });
-}
-
-// ---------------------------------------------------------------------------
-// Flat engine: open streams live in one FlatMap keyed by ReplicaKey, replica
-// lists in an arena. One candidate stream per first-seen header means
-// millions of tiny allocations per trace on the old engine; here a stream is
-// a bump-allocated node with two inline replicas (the overwhelming majority
-// of candidates never grow past one), overflowing into arena-chunked spans,
-// all freed wholesale when the state is destroyed.
-
-// Overflow storage for replicas beyond the two inline slots.
-struct ReplicaChunk {
-  static constexpr std::uint32_t kCap = 6;
-  ReplicaChunk* next = nullptr;
-  std::uint32_t n = 0;
-  Replica items[kCap];
-};
-
-// One open candidate stream. Several can be open for one key (IP ID reuse
-// over a long trace); they chain newest-first through `older`, mirroring the
-// back-to-front scan order of the reference engine's per-key vector.
-struct FlatOpenStream {
-  FlatOpenStream* older = nullptr;
-  ReplicaChunk* head_chunk = nullptr;
-  ReplicaChunk* tail_chunk = nullptr;
-  std::uint32_t count = 0;
-  net::TimeNs last_ts = 0;
-  std::uint8_t last_ttl = 0;
-  net::Ipv4Addr dst;
-  net::Prefix dst24;
-  Replica inline_replicas[2];
-
-  void push(util::Arena& arena, const Replica& r) {
-    if (count < 2) {
-      inline_replicas[count] = r;
-    } else {
-      if (tail_chunk == nullptr || tail_chunk->n == ReplicaChunk::kCap) {
-        auto* chunk = arena.create<ReplicaChunk>();
-        if (tail_chunk != nullptr) {
-          tail_chunk->next = chunk;
-        } else {
-          head_chunk = chunk;
-        }
-        tail_chunk = chunk;
-      }
-      tail_chunk->items[tail_chunk->n++] = r;
-    }
-    ++count;
-  }
-
-  net::TimeNs start() const { return inline_replicas[0].ts; }
-  // Every accepted replica updates last_ts, so last_ts is always the final
-  // replica's timestamp — the stream's end.
-  net::TimeNs end() const { return last_ts; }
-  std::uint32_t first_record_index() const {
-    return inline_replicas[0].record_index;
-  }
-
-  std::vector<Replica> materialize() const {
-    std::vector<Replica> out;
-    out.reserve(count);
-    for (std::uint32_t i = 0; i < count && i < 2; ++i) {
-      out.push_back(inline_replicas[i]);
-    }
-    for (const ReplicaChunk* c = head_chunk; c != nullptr; c = c->next) {
-      out.insert(out.end(), c->items, c->items + c->n);
-    }
-    return out;
-  }
-};
-
-static_assert(std::is_trivially_destructible_v<FlatOpenStream>,
-              "arena-allocated");
-static_assert(std::is_trivially_destructible_v<ReplicaChunk>,
-              "arena-allocated");
-
-// The per-record state machine on the flat layout. Field-identical output to
-// the reference engine below — including every journal event's payload and
-// every counter, the expired count included: expiry is determined purely by
-// last_ts against the current record's timestamp, and both engines hold the
-// same open set at every record by induction.
-struct FlatDetectState {
-  FlatDetectState(const ReplicaDetectorConfig& cfg, telemetry::Histogram* sp,
-                  telemetry::DecisionLog* jl)
-      : config(cfg), spacing(sp), journal(jl) {}
-
-  const ReplicaDetectorConfig& config;
-  telemetry::Histogram* spacing;
-  telemetry::DecisionLog* journal;
-
-  util::Arena arena;
-  util::FlatMap<ReplicaKey, FlatOpenStream*, ReplicaKeyHash> open;
-  std::vector<ReplicaStream> closed;
-  LocalCounts counts;
-
-  // Periodic sweep keeps the open table bounded by the packet arrival rate
-  // times the stream timeout rather than by the trace length: most entries
-  // are ordinary packets that never produce a replica. Sweep timing affects
-  // only memory and the expired counter, never which streams are emitted: a
-  // timed-out stream can no longer be extended (the per-key expiry check
-  // below closes it before any extension attempt).
-  static constexpr std::uint32_t kSweepInterval = 1 << 16;
-  std::uint32_t since_sweep = 0;
-
-  void close_stream(const ReplicaKey& key, const FlatOpenStream* os) {
-    if (os->count >= 2) {
-      ++counts.emitted;
-      telemetry::record(
-          journal, {.kind = telemetry::DecisionKind::stream_emitted,
-                    .dst24 = os->dst24,
-                    .ts = os->end(),
-                    .record_index = os->first_record_index(),
-                    .detail = static_cast<std::int64_t>(os->count),
-                    .detail2 = os->start()});
-      ReplicaStream stream;
-      stream.key = key;
-      stream.dst = os->dst;
-      stream.dst24 = os->dst24;
-      stream.replicas = os->materialize();
-      closed.push_back(std::move(stream));
-    }
-  }
-
-  // Closes every timed-out stream in the chain and returns the surviving
-  // chain, order preserved. Expired nodes stay in the arena (freed
-  // wholesale); idempotent, as erase_if requires.
-  FlatOpenStream* expire_chain(const ReplicaKey& key, FlatOpenStream* head,
-                               net::TimeNs now) {
-    FlatOpenStream* kept = nullptr;
-    FlatOpenStream** tail = &kept;
-    while (head != nullptr) {
-      FlatOpenStream* next = head->older;
-      if (now - head->last_ts > config.stream_timeout) {
-        ++counts.expired;
-        close_stream(key, head);
-      } else {
-        *tail = head;
-        tail = &head->older;
-      }
-      head = next;
-    }
-    *tail = nullptr;
-    return kept;
-  }
-
-  // `key` must be make_replica_key over record i's captured bytes; the
-  // caller supplies it built from the store's precomputed hash column, so
-  // FNV runs exactly once per record on every path.
-  void process(const RecordStore& store, std::size_t i,
-               const ReplicaKey& key) {
-    ++counts.records;
-    const net::TimeNs ts = store.ts(i);
-    const std::uint8_t ttl = store.ttl(i);
-    const auto index = static_cast<std::uint32_t>(i);
-
-    if (++since_sweep >= kSweepInterval) {
-      since_sweep = 0;
-      open.erase_if([&](const ReplicaKey& k, FlatOpenStream*& head) {
-        head = expire_chain(k, head, ts);
-        return head == nullptr;
-      });
-    }
-
-    const auto matches = [&](const ReplicaKey& k) { return k == key; };
-    FlatOpenStream** entry = open.find_hashed(key.hash, matches);
-    if (entry != nullptr) {
-      // Expire stale streams for this key first.
-      *entry = expire_chain(key, *entry, ts);
-
-      // Try to extend the most recent compatible stream (newest first).
-      for (FlatOpenStream* os = *entry; os != nullptr; os = os->older) {
-        const int delta =
-            static_cast<int>(os->last_ttl) - static_cast<int>(ttl);
-        const bool looped = delta >= config.min_ttl_delta;
-        const bool duplicate = config.keep_link_layer_duplicates && delta == 0;
-        if (looped || duplicate) {
-          ++counts.replicas;
-          telemetry::observe(spacing, static_cast<double>(ts - os->last_ts));
-          os->push(arena, {index, ts, ttl});
-          if (looped) os->last_ttl = ttl;
-          os->last_ts = ts;
-          telemetry::record(
-              journal, {.kind = telemetry::DecisionKind::replica_accepted,
-                        .dst24 = store.dst24(i),
-                        .ts = ts,
-                        .record_index = index,
-                        .detail = delta,
-                        .detail2 = static_cast<std::int64_t>(os->count)});
-          return;
-        }
-      }
-
-      // A live candidate stream existed for this exact header, but the TTL
-      // delta disqualified the observation — the one per-packet negative
-      // decision worth journaling (first-seen packets are non-decisions).
-      if (*entry != nullptr) {
-        telemetry::record(
-            journal, {.kind = telemetry::DecisionKind::replica_rejected,
-                      .dst24 = store.dst24(i),
-                      .ts = ts,
-                      .record_index = index,
-                      .detail = static_cast<int>((*entry)->last_ttl) -
-                                static_cast<int>(ttl)});
-      }
-    }
-
-    // Start a new stream headed by this packet.
-    ++counts.opened;
-    auto* os = arena.create<FlatOpenStream>();
-    os->dst = store.dst(i);
-    os->dst24 = store.dst24(i);
-    os->inline_replicas[0] = {index, ts, ttl};
-    os->count = 1;
-    os->last_ttl = ttl;
-    os->last_ts = ts;
-    if (entry != nullptr) {
-      os->older = *entry;
-      *entry = os;  // no rehash since find_hashed: the slot pointer is valid
-    } else {
-      open.emplace_hashed(key.hash, matches, key, os);
-    }
-  }
-
-  std::vector<ReplicaStream> finish() {
-    open.for_each([&](const ReplicaKey& key, FlatOpenStream*& head) {
-      for (const FlatOpenStream* os = head; os != nullptr; os = os->older) {
-        close_stream(key, os);
-      }
-    });
-    open.clear();
-    sort_streams(closed);
-    return std::move(closed);
-  }
-};
 
 // ---------------------------------------------------------------------------
 // Reference engine (pre-flat-map), retained verbatim as the differential
@@ -504,12 +264,29 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
   if (num_shards < 2) return detect(store);
   const std::size_t n = store.size();
 
+  // Shard assignment is one vectorized pass over the hash column (shard
+  // counts are powers of two from ParallelConfig, so the modulo is a mask;
+  // the scalar fallback covers a caller-supplied odd count). !ok rows get a
+  // shard computed from their zero hash, harmless: both passes below skip
+  // them.
+  std::vector<std::uint32_t> shard_ids(n);
+  if (n > 0) {
+    if ((num_shards & (num_shards - 1)) == 0) {
+      util::simd::mix64_mask(store.key_hash_column().data(), shard_ids.data(),
+                             n, num_shards - 1);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        shard_ids[i] = shard_of_key_hash(store.key_hash(i), num_shards);
+      }
+    }
+  }
+
   // Per-shard record-index lists, in trace (= time) order, sized exactly:
-  // one counting pass over the hash column, then one reserve per shard.
+  // one counting pass, then one reserve per shard.
   std::vector<std::uint32_t> shard_size(num_shards, 0);
   for (std::size_t i = 0; i < n; ++i) {
     if (!store.ok(i)) continue;
-    ++shard_size[shard_of_key_hash(store.key_hash(i), num_shards)];
+    ++shard_size[shard_ids[i]];
   }
   std::vector<std::vector<std::uint32_t>> shard_records(num_shards);
   for (unsigned s = 0; s < num_shards; ++s) {
@@ -517,8 +294,7 @@ std::vector<ReplicaStream> ReplicaDetector::detect_sharded(
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (!store.ok(i)) continue;
-    shard_records[shard_of_key_hash(store.key_hash(i), num_shards)].push_back(
-        static_cast<std::uint32_t>(i));
+    shard_records[shard_ids[i]].push_back(static_cast<std::uint32_t>(i));
   }
 
   // Parallel over shards: the serial state machine per shard, fed exactly
@@ -596,13 +372,20 @@ std::vector<ReplicaStream> ReplicaDetector::detect_reference(
 
 std::vector<bool> stream_membership(std::size_t record_count,
                                     const std::vector<ReplicaStream>& streams) {
-  std::vector<bool> member(record_count, false);
+  std::vector<bool> member;
+  stream_membership(record_count, streams, member);
+  return member;
+}
+
+void stream_membership(std::size_t record_count,
+                       const std::vector<ReplicaStream>& streams,
+                       std::vector<bool>& out) {
+  out.assign(record_count, false);
   for (const auto& stream : streams) {
     for (const auto& replica : stream.replicas) {
-      member[replica.record_index] = true;
+      out[replica.record_index] = true;
     }
   }
-  return member;
 }
 
 }  // namespace rloop::core

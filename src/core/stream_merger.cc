@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -137,6 +136,44 @@ void sort_loops(std::vector<RoutingLoop>& loops) {
             });
 }
 
+// Groups the stream indices selected by `keep` by prefix and runs
+// merge_prefix_group once per group. This replaces the ordered-map grouping
+// the merger used to build: sorting the index list by (prefix, index) yields
+// the same ascending-prefix iteration with ascending stream index inside
+// each group — the exact order the map produced — without a node allocation
+// per prefix. `order` and `group` are caller-owned scratch so warm calls
+// reuse their capacity.
+template <typename Keep>
+void group_and_merge(const std::vector<ReplicaStream>& valid_streams,
+                     const Keep& keep, std::vector<std::uint32_t>& order,
+                     std::vector<std::uint32_t>& group,
+                     const NonLoopedIndex& index, net::TimeNs merge_gap,
+                     std::vector<RoutingLoop>& loops, std::uint64_t& merges,
+                     telemetry::DecisionLog* journal) {
+  order.clear();
+  for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
+    if (keep(i)) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const net::Prefix& pa = valid_streams[a].dst24;
+              const net::Prefix& pb = valid_streams[b].dst24;
+              if (pa != pb) return pa < pb;
+              return a < b;
+            });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const net::Prefix prefix = valid_streams[order[i]].dst24;
+    std::size_t j = i + 1;
+    while (j < order.size() && valid_streams[order[j]].dst24 == prefix) ++j;
+    group.assign(order.begin() + static_cast<std::ptrdiff_t>(i),
+                 order.begin() + static_cast<std::ptrdiff_t>(j));
+    merge_prefix_group(prefix, group, valid_streams, index, merge_gap, loops,
+                       merges, journal);
+    i = j;
+  }
+}
+
 }  // namespace
 
 std::vector<RoutingLoop> StreamMerger::merge(
@@ -161,18 +198,13 @@ std::vector<RoutingLoop> StreamMerger::merge(
 std::vector<RoutingLoop> StreamMerger::merge_with_index(
     const NonLoopedIndex& index,
     const std::vector<ReplicaStream>& valid_streams) const {
-  // Group stream indices by prefix, keeping time order within each group.
-  std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
-  for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
-    by_prefix[valid_streams[i].dst24].push_back(i);
-  }
-
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> group;
   std::vector<RoutingLoop> loops;
   std::uint64_t merges = 0;
-  for (auto& [prefix, indices] : by_prefix) {
-    merge_prefix_group(prefix, indices, valid_streams, index,
-                       config_.merge_gap, loops, merges, journal_);
-  }
+  group_and_merge(
+      valid_streams, [](std::uint32_t) { return true; }, order, group, index,
+      config_.merge_gap, loops, merges, journal_);
   telemetry::inc(m_merges_, merges);
   telemetry::inc(m_loops_, loops.size());
 
@@ -188,10 +220,10 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded(
   auto member = std::make_shared<const std::vector<bool>>(
       stream_membership(records.size(), valid_streams));
   return merge_sharded_impl(
-      [&records, member, num_shards](unsigned s) {
-        return NonLoopedIndex(records, *member, s, num_shards);
+      [&records, member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out = NonLoopedIndex(records, *member, s, num_shards);
       },
-      valid_streams, pool, num_shards);
+      valid_streams, pool, num_shards, nullptr);
 }
 
 std::vector<RoutingLoop> StreamMerger::merge_sharded(
@@ -202,17 +234,39 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded(
   auto member = std::make_shared<const std::vector<bool>>(
       stream_membership(store.size(), valid_streams));
   return merge_sharded_impl(
-      [&store, member, num_shards](unsigned s) {
-        return NonLoopedIndex(store, *member, s, num_shards);
+      [&store, member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out = NonLoopedIndex(store, *member, s, num_shards);
       },
-      valid_streams, pool, num_shards);
+      valid_streams, pool, num_shards, nullptr);
+}
+
+std::vector<RoutingLoop> StreamMerger::merge_sharded(
+    const RecordStore& store,
+    const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+    unsigned num_shards, MergerScratch& scratch) const {
+  if (num_shards < 2) {
+    stream_membership(store.size(), valid_streams, scratch.membership);
+    scratch.shard_indexes.resize(1);
+    scratch.shard_indexes[0].rebuild(store, scratch.membership);
+    return merge_with_index(scratch.shard_indexes[0], valid_streams);
+  }
+  stream_membership(store.size(), valid_streams, scratch.membership);
+  const std::vector<bool>& member = scratch.membership;
+  return merge_sharded_impl(
+      [&store, &member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out.rebuild(store, member, s, num_shards);
+      },
+      valid_streams, pool, num_shards, &scratch);
 }
 
 std::vector<RoutingLoop> StreamMerger::merge_sharded_impl(
-    const std::function<NonLoopedIndex(unsigned)>& shard_index,
+    const std::function<void(unsigned, NonLoopedIndex&)>& build_shard,
     const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
-    unsigned num_shards) const {
-  std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
+    unsigned num_shards, MergerScratch* scratch) const {
+  std::vector<telemetry::Histogram*> local_latency;
+  std::vector<telemetry::Histogram*>& shard_latency =
+      scratch ? scratch->shard_latency : local_latency;
+  shard_latency.assign(num_shards, nullptr);
   for (unsigned s = 0; s < num_shards; ++s) {
     shard_latency[s] = telemetry::get_histogram(
         registry_, "rloop_pipeline_shard_latency_ns",
@@ -221,22 +275,40 @@ std::vector<RoutingLoop> StreamMerger::merge_sharded_impl(
         "Wall-clock latency of one pipeline shard per sharded call");
   }
 
-  std::vector<std::vector<RoutingLoop>> shard_loops(num_shards);
-  std::vector<std::uint64_t> shard_merges(num_shards, 0);
+  std::vector<std::vector<RoutingLoop>> local_loops;
+  std::vector<std::vector<RoutingLoop>>& shard_loops =
+      scratch ? scratch->shard_loops : local_loops;
+  shard_loops.resize(num_shards);
+  for (auto& v : shard_loops) v.clear();
+  std::vector<std::uint64_t> local_merges;
+  std::vector<std::uint64_t>& shard_merges =
+      scratch ? scratch->shard_merges : local_merges;
+  shard_merges.assign(num_shards, 0);
+  if (scratch) {
+    scratch->shard_indexes.resize(num_shards);
+    scratch->shard_order.resize(num_shards);
+    scratch->shard_group.resize(num_shards);
+  }
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    const NonLoopedIndex index = shard_index(static_cast<unsigned>(s));
+    NonLoopedIndex local_index;
+    NonLoopedIndex& index =
+        scratch ? scratch->shard_indexes[s] : local_index;
+    build_shard(static_cast<unsigned>(s), index);
     // Group this shard's prefixes only, with global stream indices.
-    std::map<net::Prefix, std::vector<std::uint32_t>> by_prefix;
-    for (std::uint32_t i = 0; i < valid_streams.size(); ++i) {
-      if (shard_of_prefix(valid_streams[i].dst24, num_shards) != s) continue;
-      by_prefix[valid_streams[i].dst24].push_back(i);
-    }
-    for (auto& [prefix, indices] : by_prefix) {
-      merge_prefix_group(prefix, indices, valid_streams, index,
-                         config_.merge_gap, shard_loops[s], shard_merges[s],
-                         journal_);
-    }
+    std::vector<std::uint32_t> local_order;
+    std::vector<std::uint32_t> local_group;
+    std::vector<std::uint32_t>& order =
+        scratch ? scratch->shard_order[s] : local_order;
+    std::vector<std::uint32_t>& group =
+        scratch ? scratch->shard_group[s] : local_group;
+    group_and_merge(
+        valid_streams,
+        [&](std::uint32_t i) {
+          return shard_of_prefix(valid_streams[i].dst24, num_shards) == s;
+        },
+        order, group, index, config_.merge_gap, shard_loops[s],
+        shard_merges[s], journal_);
   }, "merge_shard");
 
   std::vector<RoutingLoop> loops;

@@ -41,6 +41,21 @@ struct MergerConfig {
   net::TimeNs merge_gap = net::kMinute;
 };
 
+// Reusable buffers for the store-based merge_sharded(): the membership
+// bitmap, one NonLoopedIndex per shard (rebuilt in place), per-shard
+// grouping scratch and output vectors, and the resolved shard-latency
+// histogram pointers. A warm call through a scratch reuses all of their
+// capacity; results are identical to the scratch-free overloads.
+struct MergerScratch {
+  std::vector<bool> membership;
+  std::vector<NonLoopedIndex> shard_indexes;
+  std::vector<std::vector<std::uint32_t>> shard_order;
+  std::vector<std::vector<std::uint32_t>> shard_group;
+  std::vector<std::vector<RoutingLoop>> shard_loops;
+  std::vector<std::uint64_t> shard_merges;
+  std::vector<telemetry::Histogram*> shard_latency;
+};
+
 class StreamMerger {
  public:
   // `registry` (optional) receives merge and loop counters. `journal`
@@ -82,17 +97,26 @@ class StreamMerger {
       const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
       unsigned num_shards) const;
 
+  // As above, reusing `scratch` buffers across calls (pipeline workspace
+  // path). Output loops and order are identical.
+  std::vector<RoutingLoop> merge_sharded(
+      const RecordStore& store,
+      const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
+      unsigned num_shards, MergerScratch& scratch) const;
+
  private:
   // Shared merge loops; the record-based and store-based overloads differ
   // only in how the NonLoopedIndex is built, so both delegate here and
-  // cannot drift.
+  // cannot drift. `build_shard` fills the provided index for one shard;
+  // `scratch` (optional) supplies per-shard index/grouping/output storage,
+  // otherwise locals are used.
   std::vector<RoutingLoop> merge_with_index(
       const NonLoopedIndex& index,
       const std::vector<ReplicaStream>& valid_streams) const;
   std::vector<RoutingLoop> merge_sharded_impl(
-      const std::function<NonLoopedIndex(unsigned)>& shard_index,
+      const std::function<void(unsigned, NonLoopedIndex&)>& build_shard,
       const std::vector<ReplicaStream>& valid_streams, util::ThreadPool& pool,
-      unsigned num_shards) const;
+      unsigned num_shards, MergerScratch* scratch) const;
 
   MergerConfig config_;
   telemetry::Registry* registry_ = nullptr;

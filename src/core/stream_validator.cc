@@ -132,10 +132,10 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded(
   auto member = std::make_shared<const std::vector<bool>>(
       stream_membership(records.size(), streams));
   return validate_sharded_impl(
-      [&records, member, num_shards](unsigned s) {
-        return NonLoopedIndex(records, *member, s, num_shards);
+      [&records, member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out = NonLoopedIndex(records, *member, s, num_shards);
       },
-      std::move(streams), pool, num_shards, stats);
+      std::move(streams), pool, num_shards, nullptr, stats);
 }
 
 std::vector<ReplicaStream> StreamValidator::validate_sharded(
@@ -146,20 +146,43 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded(
   auto member = std::make_shared<const std::vector<bool>>(
       stream_membership(store.size(), streams));
   return validate_sharded_impl(
-      [&store, member, num_shards](unsigned s) {
-        return NonLoopedIndex(store, *member, s, num_shards);
+      [&store, member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out = NonLoopedIndex(store, *member, s, num_shards);
       },
-      std::move(streams), pool, num_shards, stats);
+      std::move(streams), pool, num_shards, nullptr, stats);
+}
+
+std::vector<ReplicaStream> StreamValidator::validate_sharded(
+    const RecordStore& store, std::vector<ReplicaStream> streams,
+    util::ThreadPool& pool, unsigned num_shards, ValidatorScratch& scratch,
+    ValidationStats* stats) const {
+  stream_membership(store.size(), streams, scratch.membership);
+  if (num_shards < 2) {
+    scratch.shard_indexes.resize(1);
+    scratch.shard_indexes[0].rebuild(store, scratch.membership);
+    return validate_with_index(scratch.shard_indexes[0], std::move(streams),
+                               stats);
+  }
+  const std::vector<bool>& member = scratch.membership;
+  return validate_sharded_impl(
+      [&store, &member, num_shards](unsigned s, NonLoopedIndex& out) {
+        out.rebuild(store, member, s, num_shards);
+      },
+      std::move(streams), pool, num_shards, &scratch, stats);
 }
 
 std::vector<ReplicaStream> StreamValidator::validate_sharded_impl(
-    const std::function<NonLoopedIndex(unsigned)>& shard_index,
+    const std::function<void(unsigned, NonLoopedIndex&)>& build_shard,
     std::vector<ReplicaStream> streams, util::ThreadPool& pool,
-    unsigned num_shards, ValidationStats* stats) const {
+    unsigned num_shards, ValidatorScratch* scratch,
+    ValidationStats* stats) const {
   ValidationStats local;
   local.input_streams = streams.size();
 
-  std::vector<telemetry::Histogram*> shard_latency(num_shards, nullptr);
+  std::vector<telemetry::Histogram*> local_latency;
+  std::vector<telemetry::Histogram*>& shard_latency =
+      scratch ? scratch->shard_latency : local_latency;
+  shard_latency.assign(num_shards, nullptr);
   for (unsigned s = 0; s < num_shards; ++s) {
     shard_latency[s] = telemetry::get_histogram(
         registry_, "rloop_pipeline_shard_latency_ns",
@@ -170,13 +193,23 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded_impl(
 
   // Each shard judges the streams whose prefix it owns, against an index of
   // its own prefixes only. Verdict slots are disjoint across shards.
-  std::vector<Verdict> verdicts(streams.size(), Verdict::keep);
+  // Verdicts live in a byte buffer so the scratch can own it without
+  // exposing the Verdict enum.
+  std::vector<std::uint8_t> local_verdicts;
+  std::vector<std::uint8_t>& verdicts =
+      scratch ? scratch->verdicts : local_verdicts;
+  verdicts.assign(streams.size(), static_cast<std::uint8_t>(Verdict::keep));
+  if (scratch) scratch->shard_indexes.resize(num_shards);
   pool.parallel_for(num_shards, [&](std::size_t s) {
     const telemetry::ScopedTimer timer(shard_latency[s]);
-    const NonLoopedIndex index = shard_index(static_cast<unsigned>(s));
+    NonLoopedIndex local_index;
+    NonLoopedIndex& index =
+        scratch ? scratch->shard_indexes[s] : local_index;
+    build_shard(static_cast<unsigned>(s), index);
     for (std::size_t i = 0; i < streams.size(); ++i) {
       if (shard_of_prefix(streams[i].dst24, num_shards) != s) continue;
-      verdicts[i] = judge(streams[i], config_.min_replicas, index, journal_);
+      verdicts[i] = static_cast<std::uint8_t>(
+          judge(streams[i], config_.min_replicas, index, journal_));
     }
   }, "validate_shard");
 
@@ -184,7 +217,7 @@ std::vector<ReplicaStream> StreamValidator::validate_sharded_impl(
   std::vector<ReplicaStream> valid;
   valid.reserve(streams.size());
   for (std::size_t i = 0; i < streams.size(); ++i) {
-    switch (verdicts[i]) {
+    switch (static_cast<Verdict>(verdicts[i])) {
       case Verdict::too_small:
         ++local.rejected_too_small;
         break;

@@ -36,6 +36,18 @@ struct ValidationStats {
   std::uint64_t accepted = 0;
 };
 
+// Reusable buffers for the store-based validate_sharded(): the membership
+// bitmap, one NonLoopedIndex per shard (rebuilt in place), the per-stream
+// verdict array, and the resolved shard-latency histogram pointers. A warm
+// call through a scratch allocates nothing; results are identical to the
+// scratch-free overloads.
+struct ValidatorScratch {
+  std::vector<bool> membership;
+  std::vector<NonLoopedIndex> shard_indexes;
+  std::vector<std::uint8_t> verdicts;
+  std::vector<telemetry::Histogram*> shard_latency;
+};
+
 class StreamValidator {
  public:
   // `registry` (optional) receives per-reason rejection counters. `journal`
@@ -78,17 +90,27 @@ class StreamValidator {
       util::ThreadPool& pool, unsigned num_shards,
       ValidationStats* stats = nullptr) const;
 
+  // As above, reusing `scratch` buffers across calls (pipeline workspace
+  // path). Verdicts, stats and output order are identical.
+  std::vector<ReplicaStream> validate_sharded(
+      const RecordStore& store, std::vector<ReplicaStream> streams,
+      util::ThreadPool& pool, unsigned num_shards, ValidatorScratch& scratch,
+      ValidationStats* stats = nullptr) const;
+
  private:
   // Shared verdict loops; the record-based and store-based overloads differ
   // only in how the NonLoopedIndex is built, so both delegate here and
-  // cannot drift.
+  // cannot drift. `build_shard` fills the provided index for one shard;
+  // `scratch` (optional) supplies per-shard index storage and the verdict
+  // buffer, otherwise locals are used.
   std::vector<ReplicaStream> validate_with_index(
       const NonLoopedIndex& index, std::vector<ReplicaStream> streams,
       ValidationStats* stats) const;
   std::vector<ReplicaStream> validate_sharded_impl(
-      const std::function<NonLoopedIndex(unsigned)>& shard_index,
+      const std::function<void(unsigned, NonLoopedIndex&)>& build_shard,
       std::vector<ReplicaStream> streams, util::ThreadPool& pool,
-      unsigned num_shards, ValidationStats* stats) const;
+      unsigned num_shards, ValidatorScratch* scratch,
+      ValidationStats* stats) const;
 
   ValidatorConfig config_;
   telemetry::Registry* registry_ = nullptr;

@@ -81,21 +81,45 @@ class Arena {
     bytes_reserved_ = 0;
   }
 
+  // Rewinds the bump pointer without returning memory to the heap: the next
+  // fill reuses the reserved bytes, so steady-state reuse (the pipeline
+  // workspace's per-shard detect states, reset every run) allocates nothing.
+  // A fragmented arena (several chunks from incremental growth) is first
+  // consolidated into one chunk of the total reserved size — one allocation,
+  // after which reset() never allocates again for same-or-smaller fills.
+  void reset() {
+    bytes_allocated_ = 0;
+    if (chunks_.empty()) return;
+    if (chunks_.size() > 1) {
+      const std::size_t total = bytes_reserved_;
+      chunks_.clear();
+      chunks_.push_back({std::make_unique<std::byte[]>(total), total});
+      bytes_reserved_ = total;
+    }
+    cur_ = chunks_.front().data.get();
+    end_ = cur_ + chunks_.front().size;
+  }
+
  private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
   void grow(std::size_t min_bytes) {
     if (RLOOP_FAILPOINT("arena.alloc")) throw std::bad_alloc();
     // Oversized requests get a chunk of their own size; either way the new
     // chunk becomes the bump area (the old chunk's slack is abandoned, which
     // wastes at most one object's worth of bytes per chunk).
     const std::size_t size = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
-    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size});
     bytes_reserved_ += size;
-    cur_ = chunks_.back().get();
+    cur_ = chunks_.back().data.get();
     end_ = cur_ + size;
   }
 
   std::size_t chunk_bytes_;
-  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<Chunk> chunks_;
   std::byte* cur_ = nullptr;
   std::byte* end_ = nullptr;
   std::size_t bytes_allocated_ = 0;

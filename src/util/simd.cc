@@ -1,0 +1,258 @@
+#include "util/simd.h"
+
+// AVX2 bodies are compiled with a per-function target attribute instead of a
+// global -mavx2 flag: the rest of the binary stays baseline-x86_64, the
+// kernels are still vectorized, and the runtime dispatch below keeps the
+// binary correct on CPUs without AVX2. RLOOP_NO_SIMD (CI's forced-scalar
+// job) compiles the _avx2 symbols as forwards to the scalar bodies so every
+// caller links identically in both modes.
+#if !defined(RLOOP_NO_SIMD) && defined(__x86_64__) && defined(__GNUC__)
+#define RLOOP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define RLOOP_SIMD_X86 0
+#endif
+
+namespace rloop::util::simd {
+
+namespace {
+
+// splitmix64 finalizer, kept textually in sync with core::mix64 (the SIMD
+// differential tests would catch drift immediately).
+inline std::uint64_t mix64_ref(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool avx2_available() {
+#if RLOOP_SIMD_X86
+  static const bool available = __builtin_cpu_supports("avx2") != 0;
+  return available;
+#else
+  return false;
+#endif
+}
+
+const char* active_backend() { return avx2_available() ? "avx2" : "scalar"; }
+
+// ---------------------------------------------------------------------------
+// dst24 extraction
+
+void mask_lo8_zero_scalar(const std::uint32_t* in, std::uint32_t* out,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] & 0xFFFFFF00u;
+}
+
+#if RLOOP_SIMD_X86
+__attribute__((target("avx2"))) void mask_lo8_zero_avx2(const std::uint32_t* in,
+                                                        std::uint32_t* out,
+                                                        std::size_t n) {
+  const __m256i mask = _mm256_set1_epi32(static_cast<int>(0xFFFFFF00u));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(v, mask));
+  }
+  for (; i < n; ++i) out[i] = in[i] & 0xFFFFFF00u;
+}
+#else
+void mask_lo8_zero_avx2(const std::uint32_t* in, std::uint32_t* out,
+                        std::size_t n) {
+  mask_lo8_zero_scalar(in, out, n);
+}
+#endif
+
+void mask_lo8_zero(const std::uint32_t* in, std::uint32_t* out,
+                   std::size_t n) {
+  if (avx2_available()) {
+    mask_lo8_zero_avx2(in, out, n);
+  } else {
+    mask_lo8_zero_scalar(in, out, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard assignment: splitmix64 finalizer + power-of-two mask
+
+void mix64_mask_scalar(const std::uint64_t* in, std::uint32_t* out,
+                       std::size_t n, std::uint64_t mask) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(mix64_ref(in[i]) & mask);
+  }
+}
+
+#if RLOOP_SIMD_X86
+namespace {
+
+// 64x64 -> low-64 multiply, emulated from 32x32 -> 64 lane products (AVX2
+// has no _mm256_mullo_epi64): lo + ((a_hi*b_lo + a_lo*b_hi) << 32).
+__attribute__((target("avx2"))) inline __m256i mullo_epi64(__m256i a,
+                                                           __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i xorshift64(__m256i x, int s) {
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, s));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void mix64_mask_avx2(const std::uint64_t* in,
+                                                     std::uint32_t* out,
+                                                     std::size_t n,
+                                                     std::uint64_t mask) {
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94d049bb133111ebULL));
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  // Gathers each 64-bit lane's low dword into the lower 128 bits.
+  const __m256i pack_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    x = mullo_epi64(xorshift64(x, 30), c1);
+    x = mullo_epi64(xorshift64(x, 27), c2);
+    x = _mm256_and_si256(xorshift64(x, 31), vmask);
+    const __m256i packed = _mm256_permutevar8x32_epi32(x, pack_idx);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(mix64_ref(in[i]) & mask);
+  }
+}
+#else
+void mix64_mask_avx2(const std::uint64_t* in, std::uint32_t* out,
+                     std::size_t n, std::uint64_t mask) {
+  mix64_mask_scalar(in, out, n, mask);
+}
+#endif
+
+void mix64_mask(const std::uint64_t* in, std::uint32_t* out, std::size_t n,
+                std::uint64_t mask) {
+  if (avx2_available()) {
+    mix64_mask_avx2(in, out, n, mask);
+  } else {
+    mix64_mask_scalar(in, out, n, mask);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Key-hash column compare
+
+std::size_t mismatch_u64_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+#if RLOOP_SIMD_X86
+__attribute__((target("avx2"))) std::size_t mismatch_u64_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const int eq = _mm256_movemask_epi8(_mm256_cmpeq_epi64(va, vb));
+    if (eq != -1) {
+      for (std::size_t j = i; j < i + 4; ++j) {
+        if (a[j] != b[j]) return j;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+#else
+std::size_t mismatch_u64_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  return mismatch_u64_scalar(a, b, n);
+}
+#endif
+
+std::size_t mismatch_u64(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  return avx2_available() ? mismatch_u64_avx2(a, b, n)
+                          : mismatch_u64_scalar(a, b, n);
+}
+
+// ---------------------------------------------------------------------------
+// TTL-delta histogram
+
+void ttl_delta_hist_scalar(const std::uint8_t* ttl, std::size_t n,
+                           std::uint32_t* counts256) {
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ttl[i - 1] > ttl[i]) {
+      ++counts256[static_cast<std::uint8_t>(ttl[i - 1] - ttl[i])];
+    }
+  }
+}
+
+#if RLOOP_SIMD_X86
+__attribute__((target("avx2"))) void ttl_delta_hist_avx2(
+    const std::uint8_t* ttl, std::size_t n, std::uint32_t* counts256) {
+  // The histogram scatter is inherently scalar (lanes may collide on one
+  // bucket), so the vector part computes 32 deltas and a greater-than mask
+  // per iteration and the scalar part only touches lanes with positive
+  // deltas — which skips the heavy-duplicate case (delta 0) wholesale.
+  std::size_t i = 1;
+  alignas(32) std::uint8_t diff[32];
+  for (; i + 32 <= n; i += 32) {
+    const __m256i prev =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ttl + i - 1));
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ttl + i));
+    // Unsigned prev > cur: max(prev, cur) == prev, and prev != cur.
+    const __m256i eq = _mm256_cmpeq_epi8(prev, cur);
+    const __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(prev, cur), prev);
+    const __m256i gt = _mm256_andnot_si256(eq, ge);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(diff),
+                       _mm256_sub_epi8(prev, cur));
+    std::uint32_t lanes =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(gt));
+    while (lanes != 0) {
+      const int lane = __builtin_ctz(lanes);
+      ++counts256[diff[lane]];
+      lanes &= lanes - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (ttl[i - 1] > ttl[i]) {
+      ++counts256[static_cast<std::uint8_t>(ttl[i - 1] - ttl[i])];
+    }
+  }
+}
+#else
+void ttl_delta_hist_avx2(const std::uint8_t* ttl, std::size_t n,
+                         std::uint32_t* counts256) {
+  ttl_delta_hist_scalar(ttl, n, counts256);
+}
+#endif
+
+void ttl_delta_hist(const std::uint8_t* ttl, std::size_t n,
+                    std::uint32_t* counts256) {
+  if (avx2_available()) {
+    ttl_delta_hist_avx2(ttl, n, counts256);
+  } else {
+    ttl_delta_hist_scalar(ttl, n, counts256);
+  }
+}
+
+}  // namespace rloop::util::simd

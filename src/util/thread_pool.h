@@ -49,9 +49,16 @@ class ThreadPool {
 
   // Runs body(0) .. body(n-1) across the pool and blocks until all have
   // finished. The first exception thrown by any body is rethrown here after
-  // the remaining tasks drain (they still run; shard work is independent).
-  // `span_name` labels each task's span when a trace sink is attached; it
-  // must be a string literal (spans keep the pointer, not a copy).
+  // the remaining indices drain (they still run; shard work is independent).
+  // Internally the fan-out enqueues min(n, size()) runner tasks that claim
+  // indices from a shared atomic counter — per-call queue traffic is
+  // bounded by the worker count, not by n, so a million-index fan-out costs
+  // the same synchronization as a sixteen-index one. `span_name` labels
+  // each index's span when a trace sink is attached; it must be a string
+  // literal (spans keep the pointer, not a copy). Pass nullptr to suppress
+  // per-index spans — callers that emit their own finer-grained spans
+  // inside the body (the staged dataflow) use that to keep those spans at
+  // depth 0 in the worker's lane.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                     const char* span_name = "task");
 

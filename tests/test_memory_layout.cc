@@ -17,7 +17,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/loop_detector.h"
 #include "core/parallel.h"
+#include "core/pipeline.h"
 #include "core/prefix_index.h"
 #include "core/record.h"
 #include "core/record_store.h"
@@ -378,6 +380,44 @@ TEST(MemoryLayout, FlatEngineAllocatesFarLessThanReference) {
   EXPECT_LT(flat_allocs * 2, ref_allocs)
       << "flat=" << flat_allocs << " reference=" << ref_allocs;
   EXPECT_GT(ref_allocs, 100u) << "fixture too small to measure allocation";
+}
+
+TEST(MemoryLayout, WarmPipelineAllocatesNoMoreThanSerial) {
+  // The staged dataflow's whole point of carrying a workspace: once warm,
+  // a parallel run's per-call allocation (pool reused, columns reused, batch
+  // rings reused, per-shard arenas rewound in place, validator/merger
+  // scratch reused) must not exceed the serial path's — parallelism may not
+  // buy its speed with allocator churn. bench_to_json gates the same claim
+  // on the big cached trace; this pins it in the fast tier.
+  TraceBuilder builder;
+  const net::Trace& trace = fuzz_trace(builder, 202);
+
+  LoopDetectorConfig serial_config;
+  PipelineWorkspace workspace;
+  LoopDetectorConfig parallel_config;
+  parallel_config.parallel.num_threads = 4;
+  parallel_config.parallel.shard_bits = 2;
+  parallel_config.workspace = &workspace;
+
+  // Warm both paths twice: the first parallel run builds the pool and sizes
+  // every buffer, the second proves the sizing stuck.
+  (void)detect_loops(trace, serial_config);
+  (void)detect_loops(trace, parallel_config);
+  (void)detect_loops(trace, parallel_config);
+
+  const auto count = [&](auto&& fn) {
+    const auto before = g_alloc_count.load(std::memory_order_relaxed);
+    fn();
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  };
+  const auto serial_allocs =
+      count([&] { (void)detect_loops(trace, serial_config); });
+  const auto parallel_allocs =
+      count([&] { (void)detect_loops(trace, parallel_config); });
+
+  EXPECT_LE(parallel_allocs, serial_allocs)
+      << "warm parallel=" << parallel_allocs << " serial=" << serial_allocs;
+  EXPECT_GT(serial_allocs, 10u) << "fixture too small to measure allocation";
 }
 
 }  // namespace

@@ -236,11 +236,19 @@ TEST(ParallelPipeline, PerShardTelemetryRegisteredAndHarmless) {
   expect_equal_results(serial, parallel);
 
   std::size_t shard_histograms = 0;
+  std::size_t busy_counters = 0;
+  std::size_t idle_counters = 0;
   for (const auto& m : registry.snapshot()) {
     if (m.name == "rloop_pipeline_shard_latency_ns") ++shard_histograms;
+    if (m.name == "rloop_pipeline_stage_busy_ns_total") ++busy_counters;
+    if (m.name == "rloop_pipeline_stage_idle_ns_total") ++idle_counters;
   }
   // 4 shards x 3 sharded stages (detect, validate, merge).
   EXPECT_EQ(shard_histograms, 12u);
+  // Staged-dataflow occupancy: busy/idle per stage (ingest driver, detect
+  // workers), surfaced through the existing registry — no new endpoint.
+  EXPECT_EQ(busy_counters, 2u);
+  EXPECT_EQ(idle_counters, 2u);
 }
 
 }  // namespace
